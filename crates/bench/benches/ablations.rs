@@ -1,0 +1,4 @@
+//! `cargo bench --bench ablations` — design-choice sweeps beyond the paper.
+fn main() {
+    ruche_bench::figures::ablations::run(ruche_bench::Opts::from_env());
+}

@@ -1,0 +1,4 @@
+//! `cargo bench --bench fig10` — regenerates the paper's fig10.
+fn main() {
+    ruche_bench::figures::fig10::run(ruche_bench::Opts::from_env());
+}

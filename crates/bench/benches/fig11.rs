@@ -1,0 +1,4 @@
+//! `cargo bench --bench fig11` — regenerates the paper's fig11.
+fn main() {
+    ruche_bench::figures::fig11::run(ruche_bench::Opts::from_env());
+}

@@ -1,0 +1,4 @@
+//! `cargo bench --bench fig12` — regenerates the paper's fig12.
+fn main() {
+    ruche_bench::figures::fig12::run(ruche_bench::Opts::from_env());
+}

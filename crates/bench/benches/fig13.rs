@@ -1,0 +1,4 @@
+//! `cargo bench --bench fig13` — regenerates the paper's fig13.
+fn main() {
+    ruche_bench::figures::fig13::run(ruche_bench::Opts::from_env());
+}

@@ -1,0 +1,4 @@
+//! `cargo bench --bench fig6` — regenerates the paper's fig6.
+fn main() {
+    ruche_bench::figures::fig6::run(ruche_bench::Opts::from_env());
+}

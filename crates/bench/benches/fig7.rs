@@ -1,0 +1,4 @@
+//! `cargo bench --bench fig7` — regenerates the paper's fig7.
+fn main() {
+    ruche_bench::figures::fig7::run(ruche_bench::Opts::from_env());
+}

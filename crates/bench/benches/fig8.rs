@@ -1,0 +1,4 @@
+//! `cargo bench --bench fig8` — regenerates the paper's fig8.
+fn main() {
+    ruche_bench::figures::fig8::run(ruche_bench::Opts::from_env());
+}

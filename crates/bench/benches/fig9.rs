@@ -1,0 +1,4 @@
+//! `cargo bench --bench fig9` — regenerates the paper's fig9.
+fn main() {
+    ruche_bench::figures::fig9::run(ruche_bench::Opts::from_env());
+}

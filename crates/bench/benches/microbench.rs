@@ -1,0 +1,93 @@
+//! Criterion microbenchmarks of the simulation substrate itself:
+//! per-cycle engine throughput per router type, route computation, and the
+//! allocators. These are performance-regression guards for the simulator,
+//! not paper reproductions.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use ruche_noc::arbiter::{RoundRobin, Wavefront};
+use ruche_noc::packet::Flit;
+use ruche_noc::prelude::*;
+
+/// Builds a network preloaded with uniform-random traffic at the given
+/// per-tile rate for `warm` cycles.
+fn loaded_network(cfg: NetworkConfig, rate: f64, warm: u64) -> Network {
+    let dims = cfg.dims;
+    let mut net = Network::new(cfg).expect("valid config");
+    let mut rng = SmallRng::seed_from_u64(42);
+    let mut id = 0;
+    for cycle in 0..warm {
+        for c in dims.iter() {
+            if rng.gen_bool(rate) {
+                let d = Coord::new(rng.gen_range(0..dims.cols), rng.gen_range(0..dims.rows));
+                if d != c {
+                    let ep = net.tile_endpoint(c);
+                    net.enqueue(ep, Flit::single(c, Dest::tile(d), id, cycle));
+                    id += 1;
+                }
+            }
+        }
+        net.step();
+    }
+    net
+}
+
+fn engine_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_step_16x16_ur20");
+    let dims = Dims::new(16, 16);
+    for cfg in [
+        NetworkConfig::mesh(dims),
+        NetworkConfig::full_ruche(dims, 3, CrossbarScheme::Depopulated),
+        NetworkConfig::torus(dims),
+    ] {
+        let label = cfg.label();
+        g.bench_function(&label, |b| {
+            b.iter_batched(
+                || loaded_network(cfg.clone(), 0.20, 200),
+                |mut net| {
+                    for _ in 0..100 {
+                        net.step();
+                    }
+                    net.cycle()
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn route_compute(c: &mut Criterion) {
+    let dims = Dims::new(16, 16);
+    let cfg = NetworkConfig::full_ruche(dims, 3, CrossbarScheme::Depopulated);
+    c.bench_function("route_compute_ruche3_depop", |b| {
+        let mut i = 0u16;
+        b.iter(|| {
+            i = (i + 7) % 256;
+            let here = Coord::new(i % 16, i / 16);
+            let dest = Dest::tile(Coord::new((i * 3) % 16, (i * 5) % 16));
+            compute_route(&cfg, here, Dir::P, 0, dest)
+        });
+    });
+}
+
+fn allocators(c: &mut Criterion) {
+    c.bench_function("wavefront_5x5_full", |b| {
+        let mut wf = Wavefront::new(5, 5);
+        let req = vec![vec![true; 5]; 5];
+        b.iter(|| wf.allocate(&req));
+    });
+    c.bench_function("round_robin_9", |b| {
+        let mut rr = RoundRobin::new(9);
+        let reqs = [true, false, true, true, false, true, false, true, true];
+        b.iter(|| rr.pick_and_grant(&reqs));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = engine_throughput, route_compute, allocators
+}
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! `cargo bench --bench table1` — regenerates the paper's table1.
+fn main() {
+    ruche_bench::figures::table1::run(ruche_bench::Opts::from_env());
+}

@@ -1,0 +1,4 @@
+//! `cargo bench --bench table2` — regenerates the paper's table2.
+fn main() {
+    ruche_bench::figures::table2::run(ruche_bench::Opts::from_env());
+}

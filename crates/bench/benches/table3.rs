@@ -1,0 +1,4 @@
+//! `cargo bench --bench table3` — regenerates the paper's table3.
+fn main() {
+    ruche_bench::figures::table3::run(ruche_bench::Opts::from_env());
+}

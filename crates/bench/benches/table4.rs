@@ -1,0 +1,4 @@
+//! `cargo bench --bench table4` — regenerates the paper's table4.
+fn main() {
+    ruche_bench::figures::table4::run(ruche_bench::Opts::from_env());
+}

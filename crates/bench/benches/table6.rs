@@ -1,0 +1,4 @@
+//! `cargo bench --bench table6` — regenerates the paper's table6.
+fn main() {
+    ruche_bench::figures::table6::run(ruche_bench::Opts::from_env());
+}

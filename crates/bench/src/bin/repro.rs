@@ -1,0 +1,26 @@
+//! Regenerates the paper's full evaluation in order:
+//! `cargo run --release -p ruche-bench --bin repro [-- --quick]`.
+
+use ruche_bench::{figures, Opts};
+
+fn main() {
+    let opts = Opts::from_env();
+    println!(
+        "Reproducing 'Evaluating Ruche Networks' (ISCA '25){}",
+        if opts.quick { " [quick sweep]" } else { "" }
+    );
+    figures::table1::run(opts);
+    figures::fig6::run(opts);
+    figures::fig7::run(opts);
+    figures::table2::run(opts);
+    figures::table3::run(opts);
+    figures::fig8::run(opts);
+    figures::fig9::run(opts);
+    figures::table4::run(opts);
+    figures::fig10::run(opts);
+    figures::fig11::run(opts);
+    figures::fig12::run(opts);
+    figures::fig13::run(opts);
+    figures::table6::run(opts);
+    figures::ablations::run(opts);
+}

@@ -1,0 +1,36 @@
+//! Table 1: topology comparison on physical-scalability criteria.
+
+use crate::opts::Opts;
+use crate::out::banner;
+use ruche_noc::topology::SurveyTopology;
+use ruche_stats::Table;
+
+/// Prints Table 1.
+pub fn run(_opts: Opts) {
+    banner("Table 1", "physical scalability criteria by topology");
+    let mut t = Table::new(vec![
+        "Topology",
+        "RegularTile",
+        "RegularWires",
+        "ConstRadix",
+        "StdCell",
+        "NonPow2",
+        "LongRange",
+        "ConstLinkDist",
+    ]);
+    let mark = |b: bool| if b { "yes" } else { "-" }.to_string();
+    for s in SurveyTopology::ALL {
+        let p = s.properties();
+        t.row(vec![
+            s.name().to_string(),
+            mark(p.regular_tile_shape),
+            mark(p.regular_wire_routing),
+            mark(p.constant_router_radix),
+            mark(p.standard_cell_based),
+            mark(p.non_power_of_2_tiling),
+            mark(p.long_range_links),
+            mark(p.constant_link_distance),
+        ]);
+    }
+    println!("{}", t.render());
+}

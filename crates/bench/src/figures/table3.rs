@@ -1,0 +1,58 @@
+//! Table 3: per-packet router energy by output direction.
+
+use crate::opts::Opts;
+use crate::out::banner;
+use ruche_noc::geometry::{Dims, Dir};
+use ruche_noc::prelude::*;
+use ruche_phys::{EnergyModel, Tech};
+use ruche_stats::{fmt_f, Table};
+
+/// Prints the Table 3 reproduction (model vs paper, pJ/packet).
+pub fn run(_opts: Opts) {
+    banner("Table 3", "router energy per packet by direction (pJ)");
+    let dims = Dims::new(8, 8);
+    let depop = EnergyModel::new(
+        &NetworkConfig::full_ruche(dims, 3, CrossbarScheme::Depopulated),
+        Tech::n12(),
+    );
+    let pop = EnergyModel::new(
+        &NetworkConfig::full_ruche(dims, 3, CrossbarScheme::FullyPopulated),
+        Tech::n12(),
+    );
+    let torus = EnergyModel::new(&NetworkConfig::torus(dims), Tech::n12());
+
+    let mut t = Table::new(vec![
+        "direction",
+        "depop",
+        "paper",
+        "pop",
+        "paper",
+        "torus",
+        "paper",
+    ]);
+    let rows: [(&str, Dir, f64, f64, Option<f64>); 4] = [
+        ("Horizontal", Dir::E, 1.66, 1.95, Some(2.41)),
+        ("Vertical", Dir::S, 1.82, 2.01, Some(3.35)),
+        ("Ruche Horizontal", Dir::RE, 1.40, 1.81, None),
+        ("Ruche Vertical", Dir::RS, 1.49, 2.00, None),
+    ];
+    for (name, dir, p_depop, p_pop, p_torus) in rows {
+        t.row(vec![
+            name.to_string(),
+            fmt_f(depop.router_energy_pj(dir), 2),
+            fmt_f(p_depop, 2),
+            fmt_f(pop.router_energy_pj(dir), 2),
+            fmt_f(p_pop, 2),
+            p_torus
+                .map(|_| fmt_f(torus.router_energy_pj(dir), 2))
+                .unwrap_or_else(|| "-".into()),
+            p_torus.map(|v| fmt_f(v, 2)).unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "long-wire energy (pJ/hop, excluded from the table as in the paper): ruche3 {:.2}, torus link {:.2}",
+        depop.link_energy_pj(Dir::RE),
+        torus.link_energy_pj(Dir::E)
+    );
+}

@@ -1,0 +1,46 @@
+//! Table 4: bisection bandwidth vs memory-tile bandwidth ratios.
+
+use crate::opts::Opts;
+use crate::out::banner;
+use ruche_noc::geometry::Dims;
+use ruche_noc::prelude::*;
+use ruche_stats::Table;
+
+/// Prints the Table 4 reproduction (channel counts, computed from the
+/// actual link tables).
+pub fn run(_opts: Opts) {
+    banner(
+        "Table 4",
+        "bisection BW vs memory-tile BW (channels; * = bisection >= memory)",
+    );
+    let mut t = Table::new(vec![
+        "size", "aspect", "noc", "bisection", "memoryBW", "compute:mem",
+    ]);
+    for (cols, rows, aspect, ratio) in [
+        (16u16, 8u16, "2:1", "4:1"),
+        (32, 16, "2:1", "8:1"),
+        (64, 8, "8:1", "4:1"),
+        (32, 8, "4:1", "4:1"),
+    ] {
+        let dims = Dims::new(cols, rows);
+        for cfg in [
+            NetworkConfig::mesh(dims),
+            NetworkConfig::half_ruche(dims, 2, CrossbarScheme::Depopulated),
+            NetworkConfig::half_ruche(dims, 3, CrossbarScheme::Depopulated),
+        ] {
+            let bisect = cfg.horizontal_bisection_channels();
+            let mem = cfg.memory_tile_bandwidth();
+            let star = if bisect >= mem { "*" } else { "" };
+            t.row(vec![
+                format!("{dims}"),
+                aspect.to_string(),
+                cfg.topology.name(),
+                format!("{bisect}{star}"),
+                mem.to_string(),
+                ratio.to_string(),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!("(the paper's 32x8 + ruche3 sweet spot: bisection matches memory BW 1:1)");
+}

@@ -1,0 +1,38 @@
+//! Harness options.
+
+/// Options shared by all figure harnesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Opts {
+    /// Reduced sweeps for smoke runs (`--quick` or `RUCHE_QUICK=1`).
+    pub quick: bool,
+}
+
+impl Opts {
+    /// Parses from the process arguments and environment.
+    pub fn from_env() -> Self {
+        let quick = std::env::args().any(|a| a == "--quick")
+            || std::env::var("RUCHE_QUICK").map(|v| v == "1").unwrap_or(false);
+        Opts { quick }
+    }
+
+    /// Full-sweep options.
+    pub fn full() -> Self {
+        Opts { quick: false }
+    }
+
+    /// Quick-sweep options.
+    pub fn quick() -> Self {
+        Opts { quick: true }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert!(Opts::quick().quick);
+        assert!(!Opts::full().quick);
+    }
+}

@@ -1,0 +1,56 @@
+//! Output helpers: the `results/` directory and experiment banners.
+
+use std::path::PathBuf;
+
+/// The repository `results/` directory (created on demand).
+pub fn results_dir() -> PathBuf {
+    // The bench runs from the workspace (or a member) directory; walk up
+    // until a `Cargo.toml` with a `[workspace]` is found, else use cwd.
+    let mut dir = std::env::current_dir().expect("cwd");
+    for _ in 0..4 {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(s) = std::fs::read_to_string(&manifest) {
+            if s.contains("[workspace]") {
+                break;
+            }
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    let results = dir.join("results");
+    std::fs::create_dir_all(&results).expect("create results dir");
+    results
+}
+
+/// Writes a result artifact and reports its path.
+pub fn write_artifact(name: &str, contents: &str) {
+    let path = results_dir().join(name);
+    std::fs::write(&path, contents).expect("write artifact");
+    println!("[wrote {}]", path.display());
+}
+
+/// Prints an experiment banner.
+pub fn banner(id: &str, what: &str) {
+    println!("\n=== {id}: {what} ===\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_exists_after_call() {
+        let d = results_dir();
+        assert!(d.ends_with("results"));
+        assert!(d.is_dir());
+    }
+
+    #[test]
+    fn artifacts_roundtrip() {
+        write_artifact("test_artifact.txt", "hello");
+        let p = results_dir().join("test_artifact.txt");
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "hello");
+        std::fs::remove_file(p).unwrap();
+    }
+}

@@ -1,0 +1,250 @@
+//! Behavioral tests of the execution-driven machine: bank serialization,
+//! hotspot contention, barrier semantics, scalability, and trace
+//! invariants across the workload suite.
+
+use ruche_manycore::core_model::Op;
+use ruche_manycore::prelude::*;
+use ruche_noc::prelude::*;
+
+fn mesh_sys(dims: Dims) -> SystemConfig {
+    SystemConfig::new(NetworkConfig::mesh(dims))
+}
+
+fn manual(dims: Dims, programs: Vec<Vec<Op>>) -> Workload {
+    assert_eq!(programs.len(), dims.count());
+    Workload {
+        name: "manual".into(),
+        programs,
+    }
+}
+
+#[test]
+fn llc_bank_serializes_at_one_request_per_cycle() {
+    // All tiles hammer one address -> one bank: completion time is bounded
+    // below by the request count (bank throughput 1/cycle).
+    let dims = Dims::new(8, 4);
+    let per_tile = 20u64;
+    let programs = vec![
+        (0..per_tile).map(|_| Op::Load(0x42)).chain([Op::WaitAll]).collect();
+        dims.count()
+    ];
+    let res = run(&mesh_sys(dims), &manual(dims, programs)).unwrap();
+    let total = per_tile * dims.count() as u64;
+    assert!(
+        res.cycles >= total,
+        "bank-serialized: {} cycles for {total} same-bank requests",
+        res.cycles
+    );
+}
+
+#[test]
+fn ipoly_spreading_beats_single_bank_hammering() {
+    // Strided addresses spread across banks finish far faster than the
+    // single-address hotspot above.
+    let dims = Dims::new(8, 4);
+    let per_tile = 20u64;
+    let hot = vec![
+        (0..per_tile).map(|_| Op::Load(7)).chain([Op::WaitAll]).collect();
+        dims.count()
+    ];
+    let spread: Vec<Vec<Op>> = (0..dims.count() as u64)
+        .map(|t| {
+            (0..per_tile)
+                .map(|i| Op::Load(t * 1000 + i * 17))
+                .chain([Op::WaitAll])
+                .collect()
+        })
+        .collect();
+    let hot_res = run(&mesh_sys(dims), &manual(dims, hot)).unwrap();
+    let spread_res = run(&mesh_sys(dims), &manual(dims, spread)).unwrap();
+    assert!(
+        spread_res.cycles * 3 < hot_res.cycles,
+        "spread {} vs hotspot {}",
+        spread_res.cycles,
+        hot_res.cycles
+    );
+}
+
+#[test]
+fn amo_hotspot_serializes_like_loads() {
+    let dims = Dims::new(8, 4);
+    let programs = vec![vec![Op::Amo(0), Op::WaitAll]; dims.count()];
+    let res = run(&mesh_sys(dims), &manual(dims, programs)).unwrap();
+    // 32 atomics through one bank: at least 32 cycles end to end.
+    assert!(res.cycles >= 32);
+    assert_eq!(res.load_latency.total.count(), 32);
+}
+
+#[test]
+fn barrier_count_matches_across_tiles_in_all_workloads() {
+    let dims = Dims::new(8, 4);
+    for b in Benchmark::ALL {
+        let ds = b.datasets()[0];
+        let w = Workload::build(b, ds, dims);
+        let counts: Vec<usize> = w
+            .programs
+            .iter()
+            .map(|p| p.iter().filter(|o| matches!(o, Op::Barrier)).count())
+            .collect();
+        assert!(
+            counts.windows(2).all(|x| x[0] == x[1]),
+            "{}: unbalanced barriers {counts:?}",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn every_workload_completes_on_every_half_ruche_config() {
+    let dims = Dims::new(8, 4);
+    let nets = [
+        NetworkConfig::mesh(dims),
+        NetworkConfig::half_torus(dims),
+        NetworkConfig::half_ruche(dims, 2, CrossbarScheme::Depopulated),
+        NetworkConfig::half_ruche(dims, 2, CrossbarScheme::FullyPopulated),
+        NetworkConfig::half_ruche(dims, 3, CrossbarScheme::Depopulated),
+        NetworkConfig::half_ruche(dims, 3, CrossbarScheme::FullyPopulated),
+    ];
+    for b in [Benchmark::Jacobi, Benchmark::Fft, Benchmark::SpGemm] {
+        let ds = b.datasets()[0];
+        let w = Workload::build(b, ds, dims);
+        let mut instr = None;
+        for net in &nets {
+            let r = run(&SystemConfig::new(net.clone()), &w)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", w.name, net.label()));
+            // The instruction count is a program property, not a network
+            // property (execution-driven timing only).
+            let expect = *instr.get_or_insert(r.instructions);
+            assert_eq!(r.instructions, expect, "{} on {}", w.name, net.label());
+        }
+    }
+}
+
+#[test]
+fn scalability_more_tiles_fewer_cycles() {
+    // The same (fixed-size) SGEMM finishes faster on 4x the tiles — the
+    // premise of Figure 11.
+    let small = Dims::new(8, 4);
+    let large = Dims::new(16, 8);
+    let ws = Workload::build(Benchmark::Sgemm, DatasetId::Default, small);
+    let wl = Workload::build(Benchmark::Sgemm, DatasetId::Default, large);
+    let rs = run(&mesh_sys(small), &ws).unwrap();
+    let rl = run(&mesh_sys(large), &wl).unwrap();
+    let scal = rs.cycles as f64 / rl.cycles as f64;
+    assert!(
+        scal > 1.5 && scal <= 4.2,
+        "4x tiles give {scal}x on a bisection-limited mesh"
+    );
+}
+
+#[test]
+fn stall_cycles_shrink_with_better_network() {
+    let dims = Dims::new(16, 8);
+    let w = Workload::build(Benchmark::PageRank, DatasetId::Graph(GraphId::Os), dims);
+    let mesh = run(&mesh_sys(dims), &w).unwrap();
+    let ruche = run(
+        &SystemConfig::new(NetworkConfig::half_ruche(
+            dims,
+            3,
+            CrossbarScheme::FullyPopulated,
+        )),
+        &w,
+    )
+    .unwrap();
+    assert!(ruche.stall_cycles < mesh.stall_cycles);
+    assert_eq!(ruche.mem_ops, mesh.mem_ops);
+}
+
+#[test]
+fn loadtile_to_self_roundtrips() {
+    let dims = Dims::new(4, 4);
+    let mut programs = vec![vec![]; dims.count()];
+    programs[5] = vec![Op::LoadTile(Coord::new(1, 1)), Op::WaitAll];
+    let res = run(&mesh_sys(dims), &manual(dims, programs)).unwrap();
+    assert_eq!(res.load_latency.total.count(), 1);
+    assert!(res.cycles < 20, "self-loopback request: {}", res.cycles);
+}
+
+#[test]
+fn llc_latency_hurts_latency_bound_workloads_most() {
+    // Dependent-load chains (Barnes-Hut-style) see the LLC latency in full;
+    // streaming loads hide most of it behind outstanding requests.
+    let dims = Dims::new(8, 4);
+    let chased: Vec<Vec<Op>> = vec![
+        (0..40u64)
+            .flat_map(|i| [Op::Load(i * 31), Op::WaitAll])
+            .collect();
+        dims.count()
+    ];
+    let streamed: Vec<Vec<Op>> = vec![
+        (0..40u64).map(|i| Op::Load(i * 31)).chain([Op::WaitAll]).collect();
+        dims.count()
+    ];
+    let lat = |llc: u32, programs: &Vec<Vec<Op>>| {
+        let mut sys = mesh_sys(dims);
+        sys.llc_latency = llc;
+        run(&sys, &manual(dims, programs.clone())).unwrap().cycles as f64
+    };
+    let chased_ratio = lat(20, &chased) / lat(2, &chased);
+    let streamed_ratio = lat(20, &streamed) / lat(2, &streamed);
+    assert!(chased_ratio > 1.3, "pointer chasing feels the LLC: {chased_ratio}");
+    assert!(
+        chased_ratio > streamed_ratio,
+        "streaming hides latency: {streamed_ratio} vs {chased_ratio}"
+    );
+}
+
+#[test]
+fn energy_components_are_additive_and_positive() {
+    let dims = Dims::new(8, 4);
+    let w = Workload::build(Benchmark::BarnesHut, DatasetId::Bh16K, dims);
+    let r = run(
+        &SystemConfig::new(NetworkConfig::half_ruche(
+            dims,
+            2,
+            CrossbarScheme::Depopulated,
+        )),
+        &w,
+    )
+    .unwrap();
+    let e = r.energy;
+    assert!(e.core_pj > 0.0 && e.stall_pj > 0.0 && e.router_pj > 0.0);
+    let sum = e.core_pj + e.stall_pj + e.router_pj + e.wire_pj;
+    assert!((sum - e.total_pj()).abs() < 1e-6);
+}
+
+#[test]
+fn workloads_have_meaningful_sizes() {
+    // Guard against degenerate traces after refactors: every benchmark
+    // issues a healthy number of memory operations on a 8x4 array.
+    let dims = Dims::new(8, 4);
+    for b in Benchmark::ALL {
+        let w = Workload::build(b, b.datasets()[0], dims);
+        let mem_ops: usize = w
+            .programs
+            .iter()
+            .flatten()
+            .filter(|o| {
+                matches!(
+                    o,
+                    Op::Load(_) | Op::Store(_) | Op::Amo(_) | Op::LoadTile(_)
+                )
+            })
+            .count();
+        assert!(mem_ops > 1_000, "{}: only {mem_ops} memory ops", w.name);
+    }
+}
+
+#[test]
+fn xy_responses_are_legal_but_slower() {
+    // The DOR-order ablation path: an X-Y response network needs the
+    // bidirectional edge crossbar and must still complete every workload.
+    let dims = Dims::new(8, 4);
+    let w = Workload::build(Benchmark::Fft, DatasetId::Fft16K, dims);
+    let mut sys = mesh_sys(dims);
+    sys.resp_dor = ruche_noc::topology::DorOrder::XY;
+    let xy = run(&sys, &w).unwrap();
+    let yx = run(&mesh_sys(dims), &w).unwrap();
+    assert_eq!(xy.mem_ops, yx.mem_ops);
+    assert!(xy.cycles > 0 && yx.cycles > 0);
+}

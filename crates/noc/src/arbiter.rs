@@ -1,0 +1,226 @@
+//! Arbitration and allocation logic.
+//!
+//! Ruche/mesh routers use simple decentralized **round-robin arbiters**, one
+//! per output direction (§3.2). Torus VC routers use an acyclic
+//! **wavefront allocator** for switch allocation, which provides maximal
+//! matching quality (Becker's implementation, §4.1) at the cost of a much
+//! longer critical path — the source of the torus routers' cycle-time
+//! disadvantage in Figure 7.
+
+/// A round-robin arbiter over `n` requesters.
+///
+/// The most recently granted requester gets the lowest priority next time
+/// (least-recently-granted order), which is what gives Ruche routers their
+/// simple, fast, fair output arbitration.
+#[derive(Debug, Clone)]
+pub struct RoundRobin {
+    n: usize,
+    /// Index of the last granted requester; search starts after it.
+    last: usize,
+}
+
+impl RoundRobin {
+    /// Creates an arbiter for `n` requesters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "arbiter needs at least one requester");
+        RoundRobin { n, last: n - 1 }
+    }
+
+    /// Picks the next requester in round-robin order among `requests`,
+    /// without updating priority (combinational output).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests.len() != n`.
+    pub fn pick(&self, requests: &[bool]) -> Option<usize> {
+        assert_eq!(requests.len(), self.n);
+        (1..=self.n)
+            .map(|k| (self.last + k) % self.n)
+            .find(|&i| requests[i])
+    }
+
+    /// Commits a grant, rotating the priority.
+    pub fn grant(&mut self, winner: usize) {
+        debug_assert!(winner < self.n);
+        self.last = winner;
+    }
+
+    /// Picks and commits in one step.
+    pub fn pick_and_grant(&mut self, requests: &[bool]) -> Option<usize> {
+        let w = self.pick(requests)?;
+        self.grant(w);
+        Some(w)
+    }
+}
+
+/// An acyclic wavefront allocator over an `n_in × n_out` request matrix.
+///
+/// Produces a (heuristically maximal) matching: a set of (input, output)
+/// grants such that no input or output appears twice and no request could be
+/// added without conflict. The priority diagonal rotates every allocation to
+/// provide fairness, mimicking the RTL implementation.
+#[derive(Debug, Clone)]
+pub struct Wavefront {
+    n_in: usize,
+    n_out: usize,
+    priority: usize,
+}
+
+impl Wavefront {
+    /// Creates an allocator for `n_in` inputs and `n_out` outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(n_in: usize, n_out: usize) -> Self {
+        assert!(n_in > 0 && n_out > 0, "allocator dimensions must be non-zero");
+        Wavefront {
+            n_in,
+            n_out,
+            priority: 0,
+        }
+    }
+
+    /// Allocates over `requests` (indexed `[input][output]`), returning the
+    /// granted output per input. Rotates the priority diagonal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix shape does not match the allocator.
+    pub fn allocate(&mut self, requests: &[Vec<bool>]) -> Vec<Option<usize>> {
+        assert_eq!(requests.len(), self.n_in);
+        let diag = self.n_in.max(self.n_out);
+        let mut grant_in = vec![None; self.n_in];
+        let mut out_taken = vec![false; self.n_out];
+        // Sweep wavefronts starting at the priority diagonal; within a
+        // wavefront each (i, o) with i + o ≡ d (mod diag) is independent.
+        for k in 0..diag {
+            let d = (self.priority + k) % diag;
+            for i in 0..self.n_in {
+                if grant_in[i].is_some() {
+                    continue;
+                }
+                assert_eq!(requests[i].len(), self.n_out);
+                let o = (d + diag - i % diag) % diag;
+                if o < self.n_out && requests[i][o] && !out_taken[o] {
+                    grant_in[i] = Some(o);
+                    out_taken[o] = true;
+                }
+            }
+        }
+        self.priority = (self.priority + 1) % diag;
+        grant_in
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles_fairly() {
+        let mut rr = RoundRobin::new(3);
+        let all = [true, true, true];
+        let picks: Vec<_> = (0..6).map(|_| rr.pick_and_grant(&all).unwrap()).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn round_robin_skips_idle() {
+        let mut rr = RoundRobin::new(4);
+        assert_eq!(rr.pick_and_grant(&[false, false, true, false]), Some(2));
+        assert_eq!(rr.pick_and_grant(&[true, false, true, false]), Some(0));
+        assert_eq!(rr.pick_and_grant(&[false, false, false, false]), None);
+    }
+
+    #[test]
+    fn round_robin_least_recently_granted() {
+        let mut rr = RoundRobin::new(2);
+        assert_eq!(rr.pick_and_grant(&[true, true]), Some(0));
+        // 0 was just granted: 1 now has priority.
+        assert_eq!(rr.pick_and_grant(&[true, true]), Some(1));
+        assert_eq!(rr.pick_and_grant(&[true, true]), Some(0));
+    }
+
+    #[test]
+    fn pick_without_grant_is_stable() {
+        let rr = RoundRobin::new(3);
+        assert_eq!(rr.pick(&[true, true, true]), Some(0));
+        assert_eq!(rr.pick(&[true, true, true]), Some(0));
+    }
+
+    #[test]
+    fn wavefront_grants_are_a_matching() {
+        let mut wf = Wavefront::new(5, 5);
+        let requests: Vec<Vec<bool>> = vec![
+            vec![true, true, false, false, false],
+            vec![true, false, false, false, false],
+            vec![false, true, true, false, false],
+            vec![false, false, false, true, false],
+            vec![false, false, false, true, true],
+        ];
+        for _ in 0..10 {
+            let grants = wf.allocate(&requests);
+            let mut seen = [false; 5];
+            for (i, g) in grants.iter().enumerate() {
+                if let Some(o) = *g {
+                    assert!(requests[i][o], "grant only where requested");
+                    assert!(!seen[o], "output granted twice");
+                    seen[o] = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wavefront_matching_is_maximal_on_diagonal() {
+        let mut wf = Wavefront::new(4, 4);
+        // Identity requests: all four must be granted.
+        let requests: Vec<Vec<bool>> =
+            (0..4).map(|i| (0..4).map(|o| o == i).collect()).collect();
+        let grants = wf.allocate(&requests);
+        assert!(grants.iter().all(|g| g.is_some()));
+    }
+
+    #[test]
+    fn wavefront_full_matrix_grants_everyone() {
+        // With all-true requests a maximal matching covers every input.
+        let mut wf = Wavefront::new(5, 5);
+        let requests = vec![vec![true; 5]; 5];
+        let grants = wf.allocate(&requests);
+        assert!(grants.iter().all(|g| g.is_some()));
+        let mut outs: Vec<_> = grants.into_iter().flatten().collect();
+        outs.sort_unstable();
+        assert_eq!(outs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn wavefront_rotates_priority() {
+        let mut wf = Wavefront::new(2, 2);
+        // Two inputs contending for output 0.
+        let requests = vec![vec![true, false], vec![true, false]];
+        let first = wf.allocate(&requests);
+        let second = wf.allocate(&requests);
+        let w1 = first.iter().position(|g| g.is_some()).unwrap();
+        let w2 = second.iter().position(|g| g.is_some()).unwrap();
+        assert_ne!(w1, w2, "contending inputs alternate");
+    }
+
+    #[test]
+    fn wavefront_rectangular_shapes() {
+        let mut wf = Wavefront::new(3, 5);
+        let requests = vec![vec![true; 5]; 3];
+        let grants = wf.allocate(&requests);
+        assert_eq!(grants.iter().flatten().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dims_panic() {
+        Wavefront::new(0, 3);
+    }
+}

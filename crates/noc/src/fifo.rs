@@ -1,0 +1,137 @@
+//! Bounded FIFO queues modelling router input buffers.
+//!
+//! The paper's routers are minimally buffered with two-element FIFOs
+//! (§3.2); torus routers use one such FIFO per virtual channel.
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO with fixed capacity.
+///
+/// # Examples
+///
+/// ```
+/// use ruche_noc::fifo::Fifo;
+///
+/// let mut f: Fifo<u32> = Fifo::new(2);
+/// assert!(f.try_push(1).is_ok());
+/// assert!(f.try_push(2).is_ok());
+/// assert!(f.try_push(3).is_err());
+/// assert_eq!(f.pop(), Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fifo<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+}
+
+impl<T> Fifo<T> {
+    /// Creates an empty FIFO with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "fifo capacity must be non-zero");
+        Fifo {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Maximum number of elements.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of elements.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the FIFO holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the FIFO is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() == self.capacity
+    }
+
+    /// Free slots remaining.
+    pub fn free(&self) -> usize {
+        self.capacity - self.items.len()
+    }
+
+    /// The element at the head, if any.
+    pub fn head(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Pushes to the tail.
+    ///
+    /// # Errors
+    ///
+    /// Returns the element back if the FIFO is full.
+    pub fn try_push(&mut self, item: T) -> Result<(), T> {
+        if self.is_full() {
+            Err(item)
+        } else {
+            self.items.push_back(item);
+            Ok(())
+        }
+    }
+
+    /// Pops from the head.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Iterates from head to tail.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_order() {
+        let mut f = Fifo::new(3);
+        f.try_push("a").unwrap();
+        f.try_push("b").unwrap();
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.head(), Some(&"a"));
+        assert_eq!(f.pop(), Some("a"));
+        assert_eq!(f.pop(), Some("b"));
+        assert_eq!(f.pop(), None);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn full_rejects_and_returns_item() {
+        let mut f = Fifo::new(1);
+        f.try_push(10).unwrap();
+        assert!(f.is_full());
+        assert_eq!(f.free(), 0);
+        assert_eq!(f.try_push(11), Err(11));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        Fifo::<u8>::new(0);
+    }
+
+    #[test]
+    fn iter_is_head_to_tail() {
+        let mut f = Fifo::new(4);
+        for i in 0..3 {
+            f.try_push(i).unwrap();
+        }
+        assert_eq!(f.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,99 @@
+//! Tile-area overhead model (Table 6's "Tile Area Increase" row).
+//!
+//! Relative to a 2-D mesh tile, a long-range network adds (1) the router
+//! delta, (2) wiring-track and repeater area for the channels passing over
+//! the tile (`RF` channels per direction per long-range axis), and (3) a
+//! fixed per-axis overhead for repeater rows and swizzle regions.
+
+use crate::area::{router_area, RouterParams};
+use crate::tech::Tech;
+use ruche_noc::geometry::Axis;
+use ruche_noc::topology::{NetworkConfig, TopologyKind};
+
+/// Tile area of a configuration relative to the same tile with a 2-D mesh
+/// router (mesh = 1.0).
+pub fn tile_area_increase(cfg: &NetworkConfig, tech: &Tech) -> f64 {
+    let mesh = NetworkConfig::mesh(cfg.dims);
+    let base = router_area(&RouterParams::of(&mesh), tech).total();
+    let this = router_area(&RouterParams::of(cfg), tech).total();
+    let mut overhead = this - base;
+
+    let w = cfg.channel_width_bits as f64;
+    let mut axes = 0u32;
+    for axis in [Axis::X, Axis::Y] {
+        let per_dir = match cfg.topology {
+            TopologyKind::Ruche { rf, .. } if cfg.ruche_axis(axis) => rf as f64,
+            TopologyKind::Torus { .. } if cfg.torus_axis(axis) => 1.0,
+            _ => continue,
+        };
+        axes += 1;
+        // `per_dir` channels per direction pass over each tile.
+        overhead += 2.0 * per_dir * w * tech.repeater_um2_per_bit_tile;
+    }
+    overhead += axes as f64 * tech.longrange_fixed_um2_per_axis;
+    1.0 + overhead / tech.tile_area_um2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruche_noc::geometry::Dims;
+    use ruche_noc::topology::CrossbarScheme::{Depopulated, FullyPopulated};
+
+    fn increase(cfg: &NetworkConfig) -> f64 {
+        tile_area_increase(cfg, &Tech::n12())
+    }
+
+    fn dims() -> Dims {
+        Dims::new(32, 16)
+    }
+
+    #[test]
+    fn mesh_is_unity() {
+        assert_eq!(increase(&NetworkConfig::mesh(dims())), 1.0);
+    }
+
+    #[test]
+    fn table6_tile_area_band() {
+        // Table 6: ruche2-depop 1.058, ruche2-pop 1.085, ruche3-depop
+        // 1.063, ruche3-pop 1.090, half-torus 1.071. The model lands each
+        // within ±0.025 absolute.
+        let cases = [
+            (NetworkConfig::half_ruche(dims(), 2, Depopulated), 1.058),
+            (NetworkConfig::half_ruche(dims(), 2, FullyPopulated), 1.085),
+            (NetworkConfig::half_ruche(dims(), 3, Depopulated), 1.063),
+            (NetworkConfig::half_ruche(dims(), 3, FullyPopulated), 1.090),
+            (NetworkConfig::half_torus(dims()), 1.071),
+        ];
+        for (cfg, expect) in cases {
+            let got = increase(&cfg);
+            assert!(
+                (got - expect).abs() <= 0.025,
+                "{}: got {got:.3}, paper {expect}",
+                cfg.label()
+            );
+        }
+    }
+
+    #[test]
+    fn pop_costs_more_than_depop() {
+        let depop = increase(&NetworkConfig::half_ruche(dims(), 2, Depopulated));
+        let pop = increase(&NetworkConfig::half_ruche(dims(), 2, FullyPopulated));
+        assert!(pop > depop);
+    }
+
+    #[test]
+    fn higher_rf_costs_slightly_more_wiring() {
+        let r2 = increase(&NetworkConfig::half_ruche(dims(), 2, Depopulated));
+        let r3 = increase(&NetworkConfig::half_ruche(dims(), 3, Depopulated));
+        assert!(r3 > r2);
+        assert!(r3 - r2 < 0.02, "wiring increment is small: {}", r3 - r2);
+    }
+
+    #[test]
+    fn full_ruche_pays_both_axes() {
+        let half = increase(&NetworkConfig::half_ruche(dims(), 2, Depopulated));
+        let full = increase(&NetworkConfig::full_ruche(dims(), 2, Depopulated));
+        assert!(full > half);
+    }
+}

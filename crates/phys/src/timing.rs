@@ -1,0 +1,209 @@
+//! Cycle-time model and the area-vs-cycle-time sweep (Figure 7).
+//!
+//! The critical path of a single-cycle router is route compute → output
+//! arbitration (round-robin) or switch allocation (wavefront) → crossbar
+//! mux tree → inter-tile wire, plus clocking overhead, all in FO4 units.
+//! The wavefront allocator's O(n)-cell critical diagonal is what keeps the
+//! torus router from reaching the Ruche routers' cycle times (Figure 7).
+//!
+//! As the synthesis target approaches the minimum cycle time, gate upsizing
+//! inflates logic area along the classic energy-delay banana curve; below
+//! the minimum the model reports a timing violation (`None`), matching how
+//! the paper's sweep terminates.
+
+use crate::area::{router_area, AreaBreakdown, RouterParams};
+use crate::tech::Tech;
+
+/// Minimum achievable cycle time of the router, in FO4.
+pub fn min_cycle_time_fo4(p: &RouterParams, tech: &Tech) -> f64 {
+    let mux_levels = (p.max_mux.max(2) as f64).log2();
+    let path = if p.is_vc {
+        // route compute (VC) + VC select + wavefront diagonal + mux tree.
+        tech.decode_vc_delay_fo4
+            + tech.vc_sel_delay_fo4
+            + tech.wavefront_delay_per_cell_fo4 * (2 * p.ports) as f64
+            + tech.mux_delay_per_level_fo4 * mux_levels
+    } else {
+        // route compute + round-robin arbiter + mux tree. The arbiter sees
+        // at most max_mux requesters.
+        let arb_levels = (p.max_mux.max(2) as f64).log2();
+        tech.decode_delay_fo4
+            + tech.arb_delay_per_level_fo4 * arb_levels
+            + tech.mux_delay_per_level_fo4 * mux_levels
+    };
+    tech.clk_overhead_fo4 + path + tech.wire_delay_fo4
+}
+
+/// Cell area when synthesized at `target_fo4`, or `None` on a timing
+/// violation (`target_fo4 < min_cycle_time_fo4`).
+///
+/// Logic area (crossbar, decode, arbitration) inflates as the target
+/// approaches the wall; FIFO storage inflates much less (flops are already
+/// sized).
+pub fn area_at(p: &RouterParams, tech: &Tech, target_fo4: f64) -> Option<AreaBreakdown> {
+    let t_min = min_cycle_time_fo4(p, tech);
+    if target_fo4 < t_min {
+        return None;
+    }
+    let relaxed = router_area(p, tech);
+    // Gate-sizing inflation: ~1 at 2×Tmin and beyond, grows hyperbolically
+    // toward the wall (≈ +45% at 1.1×Tmin).
+    let slack = (target_fo4 - t_min).max(1e-9);
+    let logic_inflation = 1.0 + 0.045 * (t_min / slack).min(12.0);
+    let storage_inflation = 1.0 + 0.3 * (logic_inflation - 1.0);
+    Some(AreaBreakdown {
+        crossbar: relaxed.crossbar * logic_inflation,
+        decode: relaxed.decode * logic_inflation,
+        fifo: relaxed.fifo * storage_inflation,
+        allocator: relaxed.allocator * logic_inflation,
+    })
+}
+
+/// One point of the Figure 7 sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Synthesis target, FO4.
+    pub target_fo4: f64,
+    /// Total cell area, µm² (`None` = timing violation).
+    pub area_um2: Option<f64>,
+}
+
+/// Sweeps the synthesis target downward from `from_fo4` in `step_fo4`
+/// decrements until a timing violation, mirroring the paper's methodology
+/// ("decrease the cycle time with a fixed decrement until a timing
+/// violation is detected").
+pub fn area_sweep(p: &RouterParams, tech: &Tech, from_fo4: f64, step_fo4: f64) -> Vec<SweepPoint> {
+    assert!(step_fo4 > 0.0, "sweep step must be positive");
+    let mut points = Vec::new();
+    let mut t = from_fo4;
+    loop {
+        let area = area_at(p, tech, t).map(|a| a.total());
+        let violated = area.is_none();
+        points.push(SweepPoint {
+            target_fo4: t,
+            area_um2: area,
+        });
+        if violated || t <= step_fo4 {
+            break;
+        }
+        t -= step_fo4;
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruche_noc::geometry::Dims;
+    use ruche_noc::prelude::*;
+    use ruche_noc::topology::CrossbarScheme::{Depopulated, FullyPopulated};
+
+    fn params(cfg: &NetworkConfig) -> RouterParams {
+        RouterParams::of(cfg)
+    }
+
+    fn dims() -> Dims {
+        Dims::new(8, 8)
+    }
+
+    #[test]
+    fn torus_min_cycle_time_is_much_higher() {
+        let tech = Tech::n12();
+        let mesh = min_cycle_time_fo4(&params(&NetworkConfig::mesh(dims())), &tech);
+        let pop = min_cycle_time_fo4(
+            &params(&NetworkConfig::full_ruche(dims(), 3, FullyPopulated)),
+            &tech,
+        );
+        let depop = min_cycle_time_fo4(
+            &params(&NetworkConfig::full_ruche(dims(), 3, Depopulated)),
+            &tech,
+        );
+        let torus = min_cycle_time_fo4(&params(&NetworkConfig::torus(dims())), &tech);
+        // Figure 7 orderings: mesh lowest; pop/depop about equal, slightly
+        // above mesh; torus far above all.
+        assert!(mesh < depop && mesh < pop);
+        assert!((pop - depop).abs() < 2.0, "pop {pop} vs depop {depop}");
+        assert!(torus > 1.3 * pop, "torus {torus} vs pop {pop}");
+    }
+
+    #[test]
+    fn multimesh_min_cycle_comparable_to_ruche() {
+        let tech = Tech::n12();
+        let mm = min_cycle_time_fo4(&params(&NetworkConfig::multi_mesh(dims())), &tech);
+        let pop = min_cycle_time_fo4(
+            &params(&NetworkConfig::full_ruche(dims(), 3, FullyPopulated)),
+            &tech,
+        );
+        assert!((mm - pop).abs() < 2.0, "mm {mm} vs pop {pop}");
+    }
+
+    #[test]
+    fn area_at_violates_below_minimum() {
+        let tech = Tech::n12();
+        let p = params(&NetworkConfig::mesh(dims()));
+        let t_min = min_cycle_time_fo4(&p, &tech);
+        assert!(area_at(&p, &tech, t_min - 0.1).is_none());
+        assert!(area_at(&p, &tech, t_min + 0.1).is_some());
+    }
+
+    #[test]
+    fn area_rises_as_target_tightens() {
+        let tech = Tech::n12();
+        let p = params(&NetworkConfig::full_ruche(dims(), 3, Depopulated));
+        let relaxed = area_at(&p, &tech, 98.0).unwrap().total();
+        let t_min = min_cycle_time_fo4(&p, &tech);
+        let tight = area_at(&p, &tech, t_min * 1.1).unwrap().total();
+        assert!(tight > 1.2 * relaxed, "tight {tight} vs relaxed {relaxed}");
+    }
+
+    #[test]
+    fn depop_cheaper_than_torus_at_every_feasible_target() {
+        // Figure 7: the depopulated Full Ruche curve sits below the torus
+        // curve wherever both are feasible.
+        let tech = Tech::n12();
+        let depop = params(&NetworkConfig::full_ruche(dims(), 3, Depopulated));
+        let torus = params(&NetworkConfig::torus(dims()));
+        for t in [98.0, 80.0, 60.0, 45.0] {
+            let (Some(a), Some(b)) = (area_at(&depop, &tech, t), area_at(&torus, &tech, t))
+            else {
+                continue;
+            };
+            assert!(a.total() < b.total(), "at {t} FO4: {} vs {}", a.total(), b.total());
+        }
+    }
+
+    #[test]
+    fn sweep_terminates_at_violation() {
+        let tech = Tech::n12();
+        let p = params(&NetworkConfig::mesh(dims()));
+        let pts = area_sweep(&p, &tech, 98.0, 4.0);
+        assert!(pts.len() > 10);
+        assert!(pts.last().unwrap().area_um2.is_none(), "ends in violation");
+        assert!(pts[..pts.len() - 1].iter().all(|p| p.area_um2.is_some()));
+        // Monotone increasing area as targets tighten.
+        let areas: Vec<f64> = pts.iter().filter_map(|p| p.area_um2).collect();
+        assert!(areas.windows(2).all(|w| w[1] >= w[0]), "{areas:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_step_panics() {
+        let tech = Tech::n12();
+        let p = params(&NetworkConfig::mesh(dims()));
+        area_sweep(&p, &tech, 98.0, 0.0);
+    }
+
+    #[test]
+    fn ruche_reaches_much_lower_cycle_time_than_torus_without_pipelining() {
+        // The paper's key claim (§3.2, Figure 7): Ruche routers achieve
+        // competitive cycle time without pipelining, torus would need it.
+        let tech = Tech::n12();
+        let pop = params(&NetworkConfig::full_ruche(dims(), 3, FullyPopulated));
+        let torus = params(&NetworkConfig::torus(dims()));
+        let t_pop = min_cycle_time_fo4(&pop, &tech);
+        let t_torus = min_cycle_time_fo4(&torus, &tech);
+        assert!(area_at(&pop, &tech, t_pop + 1.0).is_some());
+        assert!(area_at(&torus, &tech, t_pop + 1.0).is_none());
+        assert!(t_torus - t_pop > 5.0);
+    }
+}

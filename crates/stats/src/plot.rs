@@ -1,0 +1,187 @@
+//! Minimal ASCII scatter/line plots for terminal reports.
+//!
+//! The figure harnesses use these to render latency-vs-load curves
+//! (Figures 6 and 9) directly in `cargo bench` output, next to the CSV
+//! artifacts.
+
+/// An ASCII plot of one or more named series on shared axes.
+#[derive(Debug, Clone)]
+pub struct AsciiPlot {
+    title: String,
+    x_label: String,
+    y_label: String,
+    width: usize,
+    height: usize,
+    y_max: Option<f64>,
+    series: Vec<(char, String, Vec<(f64, f64)>)>,
+}
+
+impl AsciiPlot {
+    /// Marker glyphs assigned to series in order.
+    const MARKS: [char; 10] = ['*', 'o', '+', 'x', '#', '@', '%', '&', '=', '~'];
+
+    /// Creates an empty plot.
+    pub fn new(title: &str, x_label: &str, y_label: &str) -> Self {
+        AsciiPlot {
+            title: title.to_string(),
+            x_label: x_label.to_string(),
+            y_label: y_label.to_string(),
+            width: 64,
+            height: 20,
+            y_max: None,
+            series: Vec::new(),
+        }
+    }
+
+    /// Sets the plot area size in characters (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is below 8.
+    pub fn with_size(mut self, width: usize, height: usize) -> Self {
+        assert!(width >= 8 && height >= 8, "plot area too small");
+        self.width = width;
+        self.height = height;
+        self
+    }
+
+    /// Clamps the y axis (points above are clipped to the top row) —
+    /// useful for latency curves that diverge at saturation.
+    pub fn with_y_max(mut self, y_max: f64) -> Self {
+        self.y_max = Some(y_max);
+        self
+    }
+
+    /// Adds a named series of (x, y) points. Non-finite points are skipped.
+    pub fn series(&mut self, name: &str, points: &[(f64, f64)]) -> &mut Self {
+        let mark = Self::MARKS[self.series.len() % Self::MARKS.len()];
+        let pts: Vec<(f64, f64)> = points
+            .iter()
+            .copied()
+            .filter(|&(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        self.series.push((mark, name.to_string(), pts));
+        self
+    }
+
+    /// Number of series added.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Whether the plot has no series.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Renders the plot.
+    pub fn render(&self) -> String {
+        let all: Vec<(f64, f64)> = self.series.iter().flat_map(|(_, _, p)| p.clone()).collect();
+        if all.is_empty() {
+            return format!("{} (no data)\n", self.title);
+        }
+        let x_min = all.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+        let x_max = all.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
+        let y_min = 0.0f64.min(all.iter().map(|p| p.1).fold(f64::INFINITY, f64::min));
+        let y_max = self
+            .y_max
+            .unwrap_or_else(|| all.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max));
+        let x_span = (x_max - x_min).max(1e-12);
+        let y_span = (y_max - y_min).max(1e-12);
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (mark, _, pts) in &self.series {
+            for &(x, y) in pts {
+                let cx = ((x - x_min) / x_span * (self.width - 1) as f64).round() as usize;
+                let cy = ((y.min(y_max) - y_min) / y_span * (self.height - 1) as f64).round()
+                    as usize;
+                let row = self.height - 1 - cy;
+                grid[row][cx.min(self.width - 1)] = *mark;
+            }
+        }
+
+        let mut out = String::new();
+        out.push_str(&format!("{} — {}\n", self.title, self.y_label));
+        for (i, row) in grid.iter().enumerate() {
+            let y_here = y_max - y_span * i as f64 / (self.height - 1) as f64;
+            let label = if i % 5 == 0 {
+                format!("{y_here:>8.1} |")
+            } else {
+                format!("{:>8} |", "")
+            };
+            out.push_str(&label);
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push_str(&format!("{:>8} +{}\n", "", "-".repeat(self.width)));
+        out.push_str(&format!(
+            "{:>10}{:<w$.3}{:>.3}   ({})\n",
+            "",
+            x_min,
+            x_max,
+            self.x_label,
+            w = self.width - 4
+        ));
+        out.push_str(&format!("{:>10}", ""));
+        for (mark, name, _) in &self.series {
+            out.push_str(&format!("{mark} {name}   "));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_points_and_legend() {
+        let mut p = AsciiPlot::new("latency", "offered load", "cycles");
+        p.series("mesh", &[(0.0, 5.0), (0.5, 10.0), (1.0, 50.0)]);
+        p.series("ruche", &[(0.0, 4.0), (0.5, 6.0), (1.0, 20.0)]);
+        let s = p.render();
+        assert!(s.contains('*') && s.contains('o'));
+        assert!(s.contains("mesh") && s.contains("ruche"));
+        assert!(s.contains("offered load"));
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn empty_plot_is_graceful() {
+        let p = AsciiPlot::new("t", "x", "y");
+        assert_eq!(p.render(), "t (no data)\n");
+    }
+
+    #[test]
+    fn clamps_to_y_max() {
+        let mut p = AsciiPlot::new("t", "x", "y").with_y_max(10.0);
+        p.series("s", &[(0.0, 1.0), (1.0, 1_000_000.0)]);
+        let s = p.render();
+        // The divergent point appears on the top row instead of crushing
+        // the rest of the plot.
+        let top_row = s.lines().nth(1).unwrap();
+        assert!(top_row.contains('*'), "{s}");
+    }
+
+    #[test]
+    fn skips_non_finite_points() {
+        let mut p = AsciiPlot::new("t", "x", "y");
+        p.series("s", &[(0.0, 1.0), (f64::NAN, 2.0), (1.0, f64::INFINITY)]);
+        let s = p.render();
+        // One mark in the grid (the legend line at the end also shows it).
+        let grid_marks: usize = s
+            .lines()
+            .filter(|l| l.contains('|'))
+            .map(|l| l.matches('*').count())
+            .sum();
+        assert_eq!(grid_marks, 1, "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_plot_panics() {
+        AsciiPlot::new("t", "x", "y").with_size(2, 2);
+    }
+}

@@ -1,0 +1,179 @@
+//! Plain-text table and CSV rendering for experiment reports.
+
+use std::fmt::Write as _;
+
+/// An aligned plain-text table builder.
+///
+/// # Examples
+///
+/// ```
+/// use ruche_stats::Table;
+///
+/// let mut t = Table::new(vec!["config", "latency", "throughput"]);
+/// t.row(vec!["mesh".into(), "10.6".into(), "0.28".into()]);
+/// t.row(vec!["ruche2-depop".into(), "7.9".into(), "0.44".into()]);
+/// let s = t.render();
+/// assert!(s.contains("ruche2-depop"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<&str>) -> Self {
+        Table {
+            headers: headers.into_iter().map(str::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let n = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let emit = |cells: &[String], out: &mut String| {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                let sep = if i + 1 == n { "\n" } else { "  " };
+                let _ = write!(out, "{cell:>w$}{sep}", w = w);
+            }
+        };
+        emit(&self.headers, &mut out);
+        let rule: usize = widths.iter().sum::<usize>() + 2 * (n - 1);
+        let _ = writeln!(out, "{}", "-".repeat(rule));
+        for row in &self.rows {
+            emit(row, &mut out);
+        }
+        out
+    }
+}
+
+/// A minimal CSV writer (quotes cells containing separators).
+#[derive(Debug, Clone, Default)]
+pub struct Csv {
+    buf: String,
+}
+
+impl Csv {
+    /// Creates an empty document.
+    pub fn new() -> Self {
+        Csv::default()
+    }
+
+    /// Appends a row of cells.
+    pub fn row<I, S>(&mut self, cells: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut first = true;
+        for cell in cells {
+            if !first {
+                self.buf.push(',');
+            }
+            first = false;
+            let c = cell.as_ref();
+            if c.contains([',', '"', '\n']) {
+                self.buf.push('"');
+                self.buf.push_str(&c.replace('"', "\"\""));
+                self.buf.push('"');
+            } else {
+                self.buf.push_str(c);
+            }
+        }
+        self.buf.push('\n');
+    }
+
+    /// The document contents.
+    pub fn as_str(&self) -> &str {
+        &self.buf
+    }
+
+    /// Consumes the writer, returning the document.
+    pub fn into_string(self) -> String {
+        self.buf
+    }
+}
+
+/// Formats a float with `digits` decimal places.
+pub fn fmt_f(x: f64, digits: usize) -> String {
+    format!("{x:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new(vec!["a", "long-header"]);
+        t.row(vec!["xxxxxx".into(), "1".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].ends_with("long-header"));
+        assert!(lines[2].ends_with("1"));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_row_panics() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_quoting() {
+        let mut c = Csv::new();
+        c.row(["plain", "with,comma", "with\"quote"]);
+        assert_eq!(c.as_str(), "plain,\"with,comma\",\"with\"\"quote\"\n");
+    }
+
+    #[test]
+    fn csv_multiple_rows() {
+        let mut c = Csv::new();
+        c.row(["h1", "h2"]);
+        c.row(["1", "2"]);
+        assert_eq!(c.into_string(), "h1,h2\n1,2\n");
+    }
+
+    #[test]
+    fn fmt_f_digits() {
+        assert_eq!(fmt_f(1.23456, 2), "1.23");
+        assert_eq!(fmt_f(1.0, 0), "1");
+    }
+}

@@ -1,0 +1,27 @@
+//! # ruche-traffic
+//!
+//! Synthetic traffic generation and the open-loop testbench used to
+//! reproduce the paper's Figure 6 (Full Ruche synthetic traffic), Figure 8
+//! (fairness), and Figure 9 (Half Ruche synthetic traffic).
+//!
+//! ```
+//! use ruche_noc::prelude::*;
+//! use ruche_traffic::{run, Pattern, Testbench};
+//!
+//! let cfg = NetworkConfig::mesh(Dims::new(8, 8));
+//! let tb = Testbench::new(Pattern::UniformRandom, 0.05).quick();
+//! let res = run(&cfg, &tb)?;
+//! assert!(!res.saturated);
+//! # Ok::<(), ruche_traffic::PatternError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod pattern;
+pub mod testbench;
+
+pub use pattern::{Pattern, PatternError};
+pub use testbench::{
+    latency_curve, run, saturation_throughput, zero_load_latency, CurvePoint, TbResult, Testbench,
+};

@@ -1,0 +1,353 @@
+//! The open-loop synthetic-traffic testbench.
+//!
+//! Mirrors the paper's methodology (§4.1): every tile injects packets by a
+//! Bernoulli process at a fixed rate; latency is measured from packet
+//! generation (entering the source queue) to ejection, so it diverges as the
+//! network saturates; throughput is the accepted flit rate during the
+//! measurement window while injection continues.
+
+use crate::pattern::{Pattern, PatternError};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use ruche_noc::packet::Flit;
+use ruche_noc::prelude::*;
+use ruche_stats::Accum;
+use serde::{Deserialize, Serialize};
+
+/// Testbench phase lengths and injection parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Testbench {
+    /// Destination pattern.
+    pub pattern: Pattern,
+    /// Packets per tile per cycle (Bernoulli probability), in `[0, 1]`.
+    pub injection_rate: f64,
+    /// Cycles of injection before measurement starts.
+    pub warmup: u64,
+    /// Cycles of the measurement window (injection continues).
+    pub measure: u64,
+    /// Maximum extra cycles to wait for measured packets to drain.
+    pub drain: u64,
+    /// Flits per packet (the paper uses 1 throughout).
+    pub packet_len: usize,
+    /// RNG seed — runs are fully deterministic.
+    pub seed: u64,
+}
+
+impl Testbench {
+    /// A testbench with the paper's defaults at the given rate.
+    pub fn new(pattern: Pattern, injection_rate: f64) -> Self {
+        Testbench {
+            pattern,
+            injection_rate,
+            warmup: 1_000,
+            measure: 2_000,
+            drain: 3_000,
+            packet_len: 1,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// Shorter phases for smoke tests and quick sweeps (builder style).
+    pub fn quick(mut self) -> Self {
+        self.warmup = 300;
+        self.measure = 700;
+        self.drain = 1_000;
+        self
+    }
+
+    /// Overrides the RNG seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Results of one testbench run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TbResult {
+    /// Offered load (packets/tile/cycle).
+    pub offered: f64,
+    /// Accepted throughput: flits ejected during the measurement window per
+    /// tile per cycle.
+    pub accepted: f64,
+    /// Mean packet latency (generation to ejection) over packets born in
+    /// the measurement window and delivered before the drain limit.
+    pub avg_latency: f64,
+    /// 99th-percentile latency over the same population.
+    pub p99_latency: f64,
+    /// Measured-window packets delivered.
+    pub delivered: u64,
+    /// Measured-window packets still undelivered at the drain limit
+    /// (non-zero means the network is past saturation).
+    pub lost: u64,
+    /// Per-source-tile latency accumulators (for the fairness study).
+    pub per_tile_latency: Vec<Accum>,
+    /// Whether the run shows saturation (accepted < 95% of offered, or
+    /// undrained packets remain).
+    pub saturated: bool,
+}
+
+/// Runs the testbench on a network configuration.
+///
+/// # Errors
+///
+/// Returns a [`PatternError`] if the pattern cannot run on the array.
+///
+/// # Panics
+///
+/// Panics if `injection_rate` is outside `[0, 1]`, if the network
+/// configuration is invalid, or if the pattern needs edge ports the
+/// configuration lacks.
+pub fn run(cfg: &NetworkConfig, tb: &Testbench) -> Result<TbResult, PatternError> {
+    assert!(
+        (0.0..=1.0).contains(&tb.injection_rate),
+        "injection rate must be in [0, 1]"
+    );
+    tb.pattern.validate(cfg.dims)?;
+    let mut cfg = cfg.clone();
+    if tb.pattern.needs_edge_ports() {
+        cfg.edge_memory_ports = true;
+    }
+    let dims = cfg.dims;
+    let n_tiles = dims.count() as u64;
+    let mut net = Network::new(cfg).expect("valid network config");
+    let mut rng = SmallRng::seed_from_u64(tb.seed);
+
+    let inject_until = tb.warmup + tb.measure;
+    let m_start = tb.warmup;
+    let mut next_id = 0u64;
+    let mut expected = 0u64; // packets born in the measurement window
+    let mut delivered = 0u64;
+    let mut measured_flits_ejected = 0u64;
+    let mut lat = ruche_stats::Samples::new();
+    let mut per_tile: Vec<Accum> = vec![Accum::new(); n_tiles as usize];
+
+    let mut cycle = 0u64;
+    let deadline = inject_until + tb.drain;
+    while cycle < deadline {
+        if cycle < inject_until {
+            for src in dims.iter() {
+                if rng.gen_bool(tb.injection_rate) {
+                    if let Some(dest) = tb.pattern.dest(src, dims, &mut rng) {
+                        let ep = net.tile_endpoint(src);
+                        let in_window = cycle >= m_start;
+                        if in_window {
+                            expected += 1;
+                        }
+                        for f in Flit::multi(src, dest, next_id, cycle, tb.packet_len) {
+                            net.enqueue(ep, f);
+                        }
+                        next_id += 1;
+                    }
+                }
+            }
+        }
+        let in_measure = (m_start..inject_until).contains(&cycle);
+        for &(_, f) in net.step() {
+            if in_measure {
+                measured_flits_ejected += 1;
+            }
+            if f.kind.is_tail() && f.birth >= m_start && f.birth < inject_until {
+                let latency = (cycle - f.birth) as f64;
+                lat.add(latency);
+                per_tile[dims.index(f.src)].add(latency);
+                delivered += 1;
+            }
+        }
+        cycle += 1;
+        // Early exit once everything measured has drained.
+        if cycle >= inject_until && delivered == expected {
+            break;
+        }
+    }
+
+    let accepted = measured_flits_ejected as f64 / (n_tiles * tb.measure) as f64;
+    let offered = tb.injection_rate * tb.packet_len as f64;
+    let lost = expected - delivered;
+    let mut samples = lat;
+    Ok(TbResult {
+        offered,
+        accepted,
+        avg_latency: samples.mean(),
+        p99_latency: samples.quantile(0.99).unwrap_or(0.0),
+        delivered,
+        lost,
+        per_tile_latency: per_tile,
+        // The absolute slack keeps Bernoulli sampling noise at very low
+        // rates from reading as saturation.
+        saturated: lost > 0 || accepted < 0.95 * offered - 0.005,
+    })
+}
+
+/// Mean latency at (near-)zero load: a low-rate run whose latency is the
+/// network's intrinsic latency under this pattern.
+pub fn zero_load_latency(cfg: &NetworkConfig, pattern: Pattern, seed: u64) -> f64 {
+    let tb = Testbench {
+        injection_rate: 0.005,
+        ..Testbench::new(pattern, 0.0)
+    }
+    .with_seed(seed);
+    run(cfg, &tb).expect("pattern valid").avg_latency
+}
+
+/// Saturation throughput: the accepted flit rate when every tile offers a
+/// packet every cycle.
+pub fn saturation_throughput(cfg: &NetworkConfig, pattern: Pattern, seed: u64) -> f64 {
+    let tb = Testbench::new(pattern, 1.0).with_seed(seed);
+    run(cfg, &tb).expect("pattern valid").accepted
+}
+
+/// One point of a latency-vs-offered-load curve.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CurvePoint {
+    /// Offered load (flits/tile/cycle).
+    pub offered: f64,
+    /// Accepted throughput.
+    pub accepted: f64,
+    /// Mean latency (diverges past saturation).
+    pub avg_latency: f64,
+    /// Whether this point is past saturation.
+    pub saturated: bool,
+}
+
+/// Sweeps injection rates, producing the latency/throughput curve of the
+/// paper's Figures 6 and 9.
+pub fn latency_curve(
+    cfg: &NetworkConfig,
+    tb_proto: &Testbench,
+    rates: &[f64],
+) -> Vec<CurvePoint> {
+    rates
+        .iter()
+        .map(|&r| {
+            let tb = Testbench {
+                injection_rate: r,
+                ..tb_proto.clone()
+            };
+            let res = run(cfg, &tb).expect("pattern valid");
+            CurvePoint {
+                offered: res.offered,
+                accepted: res.accepted,
+                avg_latency: res.avg_latency,
+                saturated: res.saturated,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruche_noc::topology::CrossbarScheme::FullyPopulated;
+
+    fn quick(pattern: Pattern, rate: f64) -> Testbench {
+        Testbench::new(pattern, rate).quick()
+    }
+
+    #[test]
+    fn low_load_latency_matches_route_hops() {
+        let cfg = NetworkConfig::mesh(Dims::new(8, 8));
+        let tb = quick(Pattern::UniformRandom, 0.01);
+        let res = run(&cfg, &tb).unwrap();
+        assert!(!res.saturated);
+        assert_eq!(res.lost, 0);
+        // Latency ≈ mean route hops + 1 injection cycle, within queueing
+        // noise at 1% load.
+        let expect = mean_route_hops(&cfg) + 1.0;
+        assert!(
+            (res.avg_latency - expect).abs() < 1.0,
+            "avg {} vs hops {}",
+            res.avg_latency,
+            expect
+        );
+    }
+
+    #[test]
+    fn mesh_8x8_saturates_near_paper_value() {
+        // §4.1: 2-D mesh saturation throughput around 28% under uniform
+        // random on 8×8. Allow a generous band.
+        let cfg = NetworkConfig::mesh(Dims::new(8, 8));
+        let sat = saturation_throughput(&cfg, Pattern::UniformRandom, 3);
+        assert!((0.22..0.36).contains(&sat), "saturation {sat}");
+    }
+
+    #[test]
+    fn ruche_one_beats_torus_in_uniform_random() {
+        // §4.1 headline: ruche1-pop outperforms torus in throughput despite
+        // equal bisection bandwidth, because VC routers halve the peak
+        // crossbar bandwidth.
+        let dims = Dims::new(8, 8);
+        let torus = saturation_throughput(&NetworkConfig::torus(dims), Pattern::UniformRandom, 3);
+        let r1 =
+            saturation_throughput(&NetworkConfig::ruche_one(dims), Pattern::UniformRandom, 3);
+        assert!(r1 > torus, "ruche1 {r1} vs torus {torus}");
+    }
+
+    #[test]
+    fn torus_beats_mesh_in_uniform_random() {
+        let dims = Dims::new(8, 8);
+        let mesh = saturation_throughput(&NetworkConfig::mesh(dims), Pattern::UniformRandom, 3);
+        let torus = saturation_throughput(&NetworkConfig::torus(dims), Pattern::UniformRandom, 3);
+        assert!(torus > mesh, "torus {torus} vs mesh {mesh}");
+    }
+
+    #[test]
+    fn saturated_run_reports_saturation() {
+        let cfg = NetworkConfig::mesh(Dims::new(8, 8));
+        let res = run(&cfg, &quick(Pattern::UniformRandom, 0.9)).unwrap();
+        assert!(res.saturated);
+        assert!(res.accepted < 0.5);
+    }
+
+    #[test]
+    fn latency_curve_is_monotone_in_accepted_load() {
+        let cfg = NetworkConfig::mesh(Dims::new(8, 8));
+        let tb = quick(Pattern::UniformRandom, 0.0);
+        let curve = latency_curve(&cfg, &tb, &[0.02, 0.10, 0.25]);
+        assert_eq!(curve.len(), 3);
+        assert!(curve[0].avg_latency < curve[2].avg_latency);
+        assert!(curve[0].accepted < curve[1].accepted);
+    }
+
+    #[test]
+    fn tile_to_memory_runs_on_edge_network() {
+        let cfg = NetworkConfig::half_ruche(Dims::new(16, 8), 2, FullyPopulated)
+            .with_edge_memory_ports();
+        let res = run(&cfg, &quick(Pattern::TileToMemory, 0.05)).unwrap();
+        assert!(res.delivered > 0);
+        assert!(!res.saturated);
+    }
+
+    #[test]
+    fn per_tile_latencies_cover_all_tiles() {
+        let cfg = NetworkConfig::mesh(Dims::new(4, 4));
+        let res = run(&cfg, &quick(Pattern::UniformRandom, 0.1)).unwrap();
+        assert_eq!(res.per_tile_latency.len(), 16);
+        assert!(res.per_tile_latency.iter().all(|a| a.count() > 0));
+    }
+
+    #[test]
+    fn transpose_on_rectangular_array_errors() {
+        let cfg = NetworkConfig::mesh(Dims::new(8, 4));
+        assert!(run(&cfg, &quick(Pattern::Transpose, 0.1)).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = NetworkConfig::mesh(Dims::new(8, 8));
+        let a = run(&cfg, &quick(Pattern::UniformRandom, 0.2)).unwrap();
+        let b = run(&cfg, &quick(Pattern::UniformRandom, 0.2)).unwrap();
+        assert_eq!(a.avg_latency, b.avg_latency);
+        assert_eq!(a.accepted, b.accepted);
+    }
+
+    #[test]
+    fn multi_flit_packets_account_latency_at_tail() {
+        let cfg = NetworkConfig::mesh(Dims::new(8, 8));
+        let mut tb = quick(Pattern::UniformRandom, 0.02);
+        tb.packet_len = 3;
+        let res = run(&cfg, &tb).unwrap();
+        let single = run(&cfg, &quick(Pattern::UniformRandom, 0.02)).unwrap();
+        assert!(res.avg_latency > single.avg_latency, "serialization latency");
+    }
+}

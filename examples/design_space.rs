@@ -1,0 +1,70 @@
+//! Bandwidth-oriented design-space walk in the spirit of the paper's
+//! §4.5/Table 4 guidance: pick a compute-to-memory ratio, then choose the
+//! array aspect ratio and Ruche Factor so the horizontal bisection
+//! bandwidth covers the memory-tile bandwidth.
+//!
+//! ```sh
+//! cargo run --release --example design_space -- 512
+//! ```
+//! (argument: total compute tiles; default 256)
+
+use ruche::noc::prelude::*;
+use ruche::phys::{tile_area_increase, Tech};
+use ruche::stats::{fmt_f, Table};
+
+fn main() {
+    let tiles: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256);
+    let tech = Tech::n12();
+
+    println!("arrays of ~{tiles} compute tiles, memory on north/south edges\n");
+    let mut t = Table::new(vec![
+        "array",
+        "aspect",
+        "rf",
+        "bisection",
+        "memBW",
+        "covered",
+        "compute:mem",
+        "tile area",
+    ]);
+    // Candidate factorizations near the requested tile count.
+    let mut shapes: Vec<(u16, u16)> = Vec::new();
+    for rows in [4u16, 8, 16, 32] {
+        let cols = (tiles / rows as u32).max(2) as u16;
+        if cols >= rows && cols as u32 * rows as u32 >= tiles / 2 {
+            shapes.push((cols, rows));
+        }
+    }
+    for (cols, rows) in shapes {
+        let dims = Dims::new(cols, rows);
+        for rf in 0..=4u16 {
+            let cfg = if rf == 0 {
+                NetworkConfig::mesh(dims)
+            } else {
+                NetworkConfig::half_ruche(dims, rf, CrossbarScheme::Depopulated)
+            };
+            if cfg.validate().is_err() {
+                continue;
+            }
+            let bisect = cfg.horizontal_bisection_channels();
+            let mem = cfg.memory_tile_bandwidth();
+            let ratio = (dims.count() as u32) as f64 / mem as f64;
+            t.row(vec![
+                format!("{dims}"),
+                format!("{}:1", cols / rows.max(1)),
+                if rf == 0 { "-".into() } else { rf.to_string() },
+                bisect.to_string(),
+                mem.to_string(),
+                if bisect >= mem { "yes" } else { "no" }.to_string(),
+                format!("{}:1", ratio as u32),
+                format!("{}x", fmt_f(tile_area_increase(&cfg, &tech), 3)),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!("rule of thumb (§4.5): pick compute:memory from the application, then the");
+    println!("cheapest (aspect, RF) whose bisection covers the memory-tile bandwidth.");
+}

@@ -1,0 +1,82 @@
+//! Link-utilization heatmap: run uniform random traffic, then render each
+//! router's horizontal-channel utilization as an ASCII grid. The mesh
+//! shows the classic bright band at the vertical mid-cut (the bisection
+//! bottleneck); the Ruche network spreads the same traffic across its
+//! long-range channels.
+//!
+//! ```sh
+//! cargo run --release --example link_heatmap -- 16 16 0.25
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use ruche::noc::packet::Flit;
+use ruche::noc::prelude::*;
+
+fn utilization_grid(cfg: NetworkConfig, rate: f64, cycles: u64) -> (Vec<f64>, String) {
+    let dims = cfg.dims;
+    let label = cfg.label();
+    let mut net = Network::new(cfg).expect("valid configuration");
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut id = 0;
+    for cycle in 0..cycles {
+        for c in dims.iter() {
+            if rng.gen_bool(rate) {
+                let d = Coord::new(rng.gen_range(0..dims.cols), rng.gen_range(0..dims.rows));
+                if d != c {
+                    net.enqueue(net.tile_endpoint(c), Flit::single(c, Dest::tile(d), id, cycle));
+                    id += 1;
+                }
+            }
+        }
+        net.step();
+    }
+    // Per-router flits forwarded on X-axis channels (local + Ruche), as a
+    // fraction of cycles.
+    let ports = net.ports().to_vec();
+    let mut grid = vec![0.0f64; dims.count()];
+    for (slot, &count) in net.traversals().iter().enumerate() {
+        let dir = ports[slot % ports.len()];
+        if dir.axis() == Some(Axis::X) {
+            grid[slot / ports.len()] += count as f64 / cycles as f64;
+        }
+    }
+    (grid, label)
+}
+
+fn render(dims: Dims, grid: &[f64], label: &str) {
+    let max = grid.iter().cloned().fold(f64::MIN, f64::max).max(1e-9);
+    let shades = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    println!("\n{label}: X-channel utilization per router (max {max:.2} flits/cycle)");
+    for y in 0..dims.rows {
+        let mut line = String::new();
+        for x in 0..dims.cols {
+            let v = grid[dims.index(Coord::new(x, y))] / max;
+            let idx = ((v * (shades.len() - 1) as f64).round() as usize).min(shades.len() - 1);
+            line.push(shades[idx]);
+            line.push(shades[idx]);
+        }
+        println!("  {line}");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let cols: u16 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let rows: u16 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let rate: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(0.2);
+    let dims = Dims::new(cols, rows);
+    let cycles = 3_000;
+
+    println!("uniform random at {rate} packets/tile/cycle for {cycles} cycles");
+    for cfg in [
+        NetworkConfig::mesh(dims),
+        NetworkConfig::full_ruche(dims, 3, CrossbarScheme::Depopulated),
+    ] {
+        let (grid, label) = utilization_grid(cfg, rate, cycles);
+        render(dims, &grid, &label);
+    }
+    println!("\nreading guide: the mesh's bright mid-column band is the saturated");
+    println!("bisection; the Ruche network moves that traffic onto RE/RW channels,");
+    println!("flattening the hotspot — the paper's 'unused wiring resources' at work.");
+}

@@ -1,0 +1,72 @@
+//! Run a parallel workload on the execution-driven manycore and compare
+//! mesh against Half Ruche and half-torus, reporting runtime, remote-load
+//! latency split, and the energy breakdown — a miniature of the paper's
+//! Figures 10, 12, and 13.
+//!
+//! ```sh
+//! cargo run --release --example manycore_speedup -- bfs
+//! ```
+//! (workloads: jacobi, sgemm, fft, bh, bfs, pr, spgemm)
+
+use ruche::manycore::prelude::*;
+use ruche::noc::prelude::*;
+use ruche::stats::{fmt_f, Table};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "fft".into());
+    let (bench, ds) = match which.as_str() {
+        "jacobi" => (Benchmark::Jacobi, DatasetId::Default),
+        "sgemm" => (Benchmark::Sgemm, DatasetId::Default),
+        "fft" => (Benchmark::Fft, DatasetId::Fft16K),
+        "bh" => (Benchmark::BarnesHut, DatasetId::Bh16K),
+        "bfs" => (Benchmark::Bfs, DatasetId::Graph(GraphId::Pk)),
+        "pr" => (Benchmark::PageRank, DatasetId::Graph(GraphId::Os)),
+        "spgemm" => (Benchmark::SpGemm, DatasetId::Graph(GraphId::Ca)),
+        other => {
+            eprintln!("unknown workload '{other}'");
+            std::process::exit(2);
+        }
+    };
+
+    let dims = Dims::new(16, 8);
+    let workload = Workload::build(bench, ds, dims);
+    println!(
+        "workload {} on a {dims} manycore ({} ops across {} tiles)\n",
+        workload.name,
+        workload.total_ops(),
+        dims.count()
+    );
+
+    let configs = [
+        NetworkConfig::mesh(dims),
+        NetworkConfig::half_torus(dims),
+        NetworkConfig::half_ruche(dims, 2, CrossbarScheme::Depopulated),
+        NetworkConfig::half_ruche(dims, 3, CrossbarScheme::FullyPopulated),
+    ];
+    let mut t = Table::new(vec![
+        "network",
+        "cycles",
+        "speedup",
+        "load lat (intr+cong)",
+        "NoC energy (uJ)",
+        "total energy (uJ)",
+    ]);
+    let mut base = None;
+    for cfg in configs {
+        let r = run(&SystemConfig::new(cfg), &workload).expect("run completes");
+        let base_cycles = *base.get_or_insert(r.cycles);
+        t.row(vec![
+            r.label.clone(),
+            r.cycles.to_string(),
+            format!("{}x", fmt_f(base_cycles as f64 / r.cycles as f64, 2)),
+            format!(
+                "{} + {}",
+                fmt_f(r.load_latency.intrinsic.mean(), 1),
+                fmt_f(r.load_latency.congestion.mean(), 1)
+            ),
+            fmt_f((r.energy.router_pj + r.energy.wire_pj) / 1e6, 1),
+            fmt_f(r.energy.total_pj() / 1e6, 1),
+        ]);
+    }
+    println!("{}", t.render());
+}

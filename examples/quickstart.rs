@@ -1,0 +1,51 @@
+//! Quickstart: build a Full Ruche network, push synthetic traffic through
+//! it, and compare it with 2-D mesh and folded torus.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ruche::noc::prelude::*;
+use ruche::traffic::{run, Pattern, Testbench};
+
+fn main() {
+    let dims = Dims::new(8, 8);
+
+    // 1. One packet, corner to corner, on a Ruche-2 network.
+    let cfg = NetworkConfig::full_ruche(dims, 2, CrossbarScheme::Depopulated);
+    let mut net = Network::new(cfg.clone()).expect("valid configuration");
+    let (src, dst) = (Coord::new(0, 0), Coord::new(7, 7));
+    net.enqueue(
+        net.tile_endpoint(src),
+        ruche::noc::packet::Flit::single(src, Dest::tile(dst), 0, 0),
+    );
+    while net.stats().ejected == 0 {
+        net.step();
+    }
+    println!(
+        "corner-to-corner on {}: {} cycles ({} router hops)",
+        cfg.label(),
+        net.cycle(),
+        route_hops(&cfg, src, dst)
+    );
+
+    // 2. Uniform-random load sweep: who saturates first?
+    println!("\nuniform random @ 8x8 (offered 0.25 packets/tile/cycle):");
+    for cfg in [
+        NetworkConfig::mesh(dims),
+        NetworkConfig::torus(dims),
+        NetworkConfig::ruche_one(dims),
+        NetworkConfig::full_ruche(dims, 2, CrossbarScheme::Depopulated),
+        NetworkConfig::full_ruche(dims, 3, CrossbarScheme::FullyPopulated),
+    ] {
+        let tb = Testbench::new(Pattern::UniformRandom, 0.25).quick();
+        let res = run(&cfg, &tb).expect("pattern fits");
+        println!(
+            "  {:14} accepted {:.3}  avg latency {:>7.1}{}",
+            cfg.label(),
+            res.accepted,
+            res.avg_latency,
+            if res.saturated { "  (saturated)" } else { "" }
+        );
+    }
+}

@@ -1,0 +1,173 @@
+//! `ruche-sim` — a command-line front end to the NoC simulator.
+//!
+//! ```sh
+//! cargo run --release --bin ruche-sim -- \
+//!     --topology ruche --rf 2 --scheme depop --size 16x16 \
+//!     --pattern uniform --rate 0.2
+//! ```
+//!
+//! Prints the latency/throughput of one run, or a latency curve with
+//! `--sweep`.
+
+use ruche::noc::prelude::*;
+use ruche::stats::AsciiPlot;
+use ruche::traffic::{latency_curve, run, Pattern, Testbench};
+
+#[derive(Debug)]
+struct Args {
+    topology: String,
+    rf: u16,
+    scheme: CrossbarScheme,
+    size: Dims,
+    pattern: String,
+    rate: f64,
+    sweep: bool,
+    packet_len: usize,
+    pipeline: u32,
+    seed: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ruche-sim [--topology mesh|multimesh|torus|half-torus|ruche|half-ruche]\n\
+         \x20                [--rf N] [--scheme pop|depop] [--size WxH]\n\
+         \x20                [--pattern uniform|bitcomp|transpose|tornado|neighbor|memory]\n\
+         \x20                [--rate R | --sweep] [--packet-len N] [--pipeline N] [--seed N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        topology: "ruche".into(),
+        rf: 2,
+        scheme: CrossbarScheme::Depopulated,
+        size: Dims::new(8, 8),
+        pattern: "uniform".into(),
+        rate: 0.1,
+        sweep: false,
+        packet_len: 1,
+        pipeline: 0,
+        seed: 0xC0FFEE,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match argv[i].as_str() {
+            "--topology" => args.topology = take(&mut i),
+            "--rf" => args.rf = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--scheme" => {
+                args.scheme = match take(&mut i).as_str() {
+                    "pop" => CrossbarScheme::FullyPopulated,
+                    "depop" => CrossbarScheme::Depopulated,
+                    _ => usage(),
+                }
+            }
+            "--size" => {
+                let s = take(&mut i);
+                let (w, h) = s.split_once('x').unwrap_or_else(|| usage());
+                args.size = Dims::new(
+                    w.parse().unwrap_or_else(|_| usage()),
+                    h.parse().unwrap_or_else(|_| usage()),
+                );
+            }
+            "--pattern" => args.pattern = take(&mut i),
+            "--rate" => args.rate = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--sweep" => args.sweep = true,
+            "--packet-len" => {
+                args.packet_len = take(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--pipeline" => args.pipeline = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    args
+}
+
+fn main() {
+    let a = parse_args();
+    let cfg = match a.topology.as_str() {
+        "mesh" => NetworkConfig::mesh(a.size),
+        "multimesh" => NetworkConfig::multi_mesh(a.size),
+        "torus" => NetworkConfig::torus(a.size),
+        "half-torus" => NetworkConfig::half_torus(a.size),
+        "ruche" if a.rf == 1 => NetworkConfig::ruche_one(a.size),
+        "ruche" => NetworkConfig::full_ruche(a.size, a.rf, a.scheme),
+        "half-ruche" => NetworkConfig::half_ruche(a.size, a.rf, a.scheme),
+        _ => usage(),
+    }
+    .with_pipeline_stages(a.pipeline);
+    if let Err(e) = cfg.validate() {
+        eprintln!("invalid configuration: {e}");
+        std::process::exit(1);
+    }
+    let pattern = match a.pattern.as_str() {
+        "uniform" => Pattern::UniformRandom,
+        "bitcomp" => Pattern::BitComplement,
+        "transpose" => Pattern::Transpose,
+        "tornado" => Pattern::Tornado,
+        "neighbor" => Pattern::Neighbor,
+        "memory" => Pattern::TileToMemory,
+        _ => usage(),
+    };
+
+    let mut tb = Testbench::new(pattern, a.rate).with_seed(a.seed);
+    tb.packet_len = a.packet_len;
+    println!(
+        "network {} ({}), pattern {}, {} bisection channels (horizontal)",
+        cfg.label(),
+        cfg.dims,
+        pattern.name(),
+        cfg.horizontal_bisection_channels()
+    );
+
+    if a.sweep {
+        let rates: Vec<f64> = (1..=20).map(|i| i as f64 * 0.05).collect();
+        let curve = latency_curve(&cfg, &tb, &rates);
+        let mut plot = AsciiPlot::new(&cfg.label(), "offered load", "avg latency (cycles)");
+        let pts: Vec<(f64, f64)> = curve
+            .iter()
+            .filter(|p| !p.saturated)
+            .map(|p| (p.offered, p.avg_latency))
+            .collect();
+        plot.series(pattern.name(), &pts);
+        println!("{}", plot.render());
+        for p in &curve {
+            println!(
+                "offered {:>5.2}  accepted {:>6.3}  latency {:>9.1}{}",
+                p.offered,
+                p.accepted,
+                p.avg_latency,
+                if p.saturated { "  (saturated)" } else { "" }
+            );
+        }
+    } else {
+        match run(&cfg, &tb) {
+            Ok(res) => {
+                println!(
+                    "offered {:.3}  accepted {:.3}  avg latency {:.1}  p99 {:.1}  delivered {}{}",
+                    res.offered,
+                    res.accepted,
+                    res.avg_latency,
+                    res.p99_latency,
+                    res.delivered,
+                    if res.saturated { "  (saturated)" } else { "" }
+                );
+            }
+            Err(e) => {
+                eprintln!("cannot run pattern: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

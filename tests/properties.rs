@@ -1,0 +1,193 @@
+//! Property-based tests over the core invariants (DESIGN.md §5):
+//! deadlock freedom, in-order delivery, route correctness, flit
+//! conservation, and crossbar consistency, across randomized topologies,
+//! sizes, Ruche factors, and traffic.
+
+use proptest::prelude::*;
+use ruche::noc::crossbar::Connectivity;
+use ruche::noc::packet::Flit;
+use ruche::noc::prelude::*;
+use ruche::noc::routing::walk_route;
+
+/// Strategy over the evaluated network families on modest arrays.
+fn arb_config() -> impl Strategy<Value = NetworkConfig> {
+    (4u16..=9, 4u16..=9, 0u8..=6, 1u16..=3, any::<bool>()).prop_map(
+        |(cols, rows, kind, rf, pop)| {
+            let dims = Dims::new(cols, rows);
+            let rf = rf.min(cols - 1).min(rows - 1).max(1);
+            let scheme = if pop || rf == 1 {
+                CrossbarScheme::FullyPopulated
+            } else {
+                CrossbarScheme::Depopulated
+            };
+            match kind {
+                0 => NetworkConfig::mesh(dims),
+                1 => NetworkConfig::multi_mesh(dims),
+                2 => NetworkConfig::torus(dims),
+                3 => NetworkConfig::half_torus(dims),
+                4 => NetworkConfig::full_ruche(dims, rf, scheme),
+                5 => NetworkConfig::half_ruche(dims, rf, scheme),
+                _ => NetworkConfig::ruche_one(dims),
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every route terminates at its destination, within the hop bound,
+    /// through legal crossbar transitions only.
+    #[test]
+    fn routes_terminate_and_respect_crossbar(cfg in arb_config(), sx in 0u16..9, sy in 0u16..9, dx in 0u16..9, dy in 0u16..9) {
+        prop_assume!(cfg.validate().is_ok());
+        let dims = cfg.dims;
+        let src = Coord::new(sx % dims.cols, sy % dims.rows);
+        let dst = Coord::new(dx % dims.cols, dy % dims.rows);
+        let conn = Connectivity::of(&cfg);
+        let path = walk_route(&cfg, src, Dest::tile(dst));
+        // Terminates at the destination's P port.
+        prop_assert_eq!(path.last().unwrap(), &(dst, Dir::P));
+        // Each transition is implemented by the crossbar.
+        let mut in_dir = Dir::P;
+        for &(_, out) in &path {
+            prop_assert!(conn.allows(in_dir, out), "{} -> {} missing", in_dir, out);
+            in_dir = out.opposite();
+        }
+    }
+
+    /// Pop routes are per-axis hop-minimal; depop routes are
+    /// distance-preserving (never travel more tiles than Manhattan).
+    #[test]
+    fn route_length_bounds(cfg in arb_config(), sx in 0u16..9, sy in 0u16..9, dx in 0u16..9, dy in 0u16..9) {
+        prop_assume!(cfg.validate().is_ok());
+        prop_assume!(!cfg.is_vc_router()); // torus rides rings, not Manhattan
+        let dims = cfg.dims;
+        let src = Coord::new(sx % dims.cols, sy % dims.rows);
+        let dst = Coord::new(dx % dims.cols, dy % dims.rows);
+        let rf = cfg.topology.ruche_factor().max(1) as i64;
+        let path = walk_route(&cfg, src, Dest::tile(dst));
+        let tiles: i64 = path
+            .iter()
+            .map(|&(_, d)| {
+                let (x, y) = d.displacement(rf as u16);
+                (x.abs() + y.abs()) as i64
+            })
+            .sum();
+        prop_assert_eq!(tiles as u32, src.manhattan(dst), "distance preserved");
+        if cfg.scheme == CrossbarScheme::FullyPopulated && cfg.topology.ruche_factor() >= 2 {
+            let ax = (dst.x as i64 - src.x as i64).abs();
+            let ay = (dst.y as i64 - src.y as i64).abs();
+            let min_hops = ax / rf + ax % rf + ay / rf + ay % rf + 1;
+            prop_assert!(path.len() as i64 <= min_hops + 2 * rf, "near-minimal");
+        }
+    }
+
+    /// Everything injected drains: no deadlock, no loss, no duplication —
+    /// and per-pair delivery order matches injection order.
+    #[test]
+    fn conservation_order_and_deadlock_freedom(
+        cfg in arb_config(),
+        seed in any::<u64>(),
+        rate in 1u32..=60,
+    ) {
+        prop_assume!(cfg.validate().is_ok());
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let dims = cfg.dims;
+        let mut net = Network::new(cfg).unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut sent = 0u64;
+        let mut expected: std::collections::HashMap<(Coord, Coord), Vec<u64>> =
+            std::collections::HashMap::new();
+        let mut seen: std::collections::HashMap<(Coord, Coord), Vec<u64>> =
+            std::collections::HashMap::new();
+        let mut drained = 0u64;
+        for cycle in 0..120u64 {
+            for c in dims.iter() {
+                if rng.gen_ratio(rate, 100) {
+                    let d = Coord::new(rng.gen_range(0..dims.cols), rng.gen_range(0..dims.rows));
+                    let ep = net.tile_endpoint(c);
+                    net.enqueue(ep, Flit::single(c, Dest::tile(d), sent, cycle));
+                    expected.entry((c, d)).or_default().push(sent);
+                    sent += 1;
+                }
+            }
+            let out = net.step().to_vec();
+            for (ep, f) in out {
+                let EndpointKind::Tile(at) = net.endpoint_kind(ep) else { unreachable!() };
+                prop_assert_eq!(at, f.dest.coord, "delivered to its destination");
+                seen.entry((f.src, at)).or_default().push(f.packet_id);
+                drained += 1;
+            }
+        }
+        let mut guard = 0u32;
+        while drained < sent {
+            let out = net.step().to_vec();
+            for (ep, f) in out {
+                let EndpointKind::Tile(at) = net.endpoint_kind(ep) else { unreachable!() };
+                prop_assert_eq!(at, f.dest.coord, "delivered to its destination");
+                seen.entry((f.src, at)).or_default().push(f.packet_id);
+                drained += 1;
+            }
+            guard += 1;
+            prop_assert!(guard < 60_000, "deadlock: {} of {} drained", drained, sent);
+        }
+        prop_assert_eq!(net.in_flight(), 0);
+        let empty: Vec<u64> = vec![];
+        for (pair, ids) in &expected {
+            prop_assert_eq!(seen.get(pair).unwrap_or(&empty), ids, "in-order for {:?}", pair);
+        }
+    }
+
+    /// Credits balance after drain: every counted output port has its full
+    /// credit pool back.
+    #[test]
+    fn credits_return_after_drain(seed in any::<u64>()) {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let dims = Dims::new(6, 6);
+        let cfg = NetworkConfig::torus(dims);
+        let depth = cfg.fifo_depth;
+        let mut net = Network::new(cfg).unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut sent = 0u64;
+        for cycle in 0..100u64 {
+            for c in dims.iter() {
+                if rng.gen_bool(0.4) {
+                    let d = Coord::new(rng.gen_range(0..6), rng.gen_range(0..6));
+                    let ep = net.tile_endpoint(c);
+                    net.enqueue(ep, Flit::single(c, Dest::tile(d), sent, cycle));
+                    sent += 1;
+                }
+            }
+            net.step();
+        }
+        let mut guard = 0;
+        while net.stats().ejected < sent {
+            net.step();
+            guard += 1;
+            prop_assert!(guard < 60_000, "drain stalled");
+        }
+        // Two idle cycles settle in-flight credit returns.
+        net.step();
+        net.step();
+        prop_assert_eq!(net.in_flight(), 0);
+        let _ = depth;
+    }
+
+    /// Bisection analytics: Ruche adds exactly `RF` channels per row per
+    /// direction over mesh; torus doubles mesh.
+    #[test]
+    fn bisection_closed_forms(cols in 6u16..=24, rows in 2u16..=12, rf in 2u16..=4) {
+        prop_assume!(rf < cols / 2);
+        let dims = Dims::new(cols, rows);
+        let mesh = NetworkConfig::mesh(dims).horizontal_bisection_channels();
+        prop_assert_eq!(mesh, 2 * rows as u32);
+        let ruche = NetworkConfig::half_ruche(dims, rf, CrossbarScheme::Depopulated)
+            .horizontal_bisection_channels();
+        prop_assert_eq!(ruche, 2 * rows as u32 * (1 + rf as u32));
+        if cols >= 3 && rows >= 3 {
+            let torus = NetworkConfig::torus(dims).horizontal_bisection_channels();
+            prop_assert_eq!(torus, 2 * mesh);
+        }
+    }
+}
