@@ -1,0 +1,61 @@
+//! Sweep-engine smoke benchmark: runs the Figure 6 quick point set through
+//! the parallel runner (cache disabled, so every point simulates) and emits
+//! `results/BENCH_sweep.json` with wall-clock and throughput numbers.
+//!
+//! ```text
+//! cargo run --release -p ruche-bench --bin sweep_smoke -- --threads 4
+//! ```
+
+use ruche_bench::out::{results_dir, write_artifact};
+use ruche_bench::sweep::{self, SweepRunner};
+use ruche_bench::Opts;
+use ruche_noc::geometry::Dims;
+use ruche_traffic::{Pattern, Testbench};
+use std::time::Instant;
+
+fn main() {
+    let opts = Opts::from_env();
+    let dims = Dims::new(8, 8);
+    let rates = [0.02, 0.10, 0.20, 0.30, 0.45];
+
+    // The Figure 6 quick sweep: 8 configs × 4 patterns × 5 rates.
+    let mut jobs = Vec::new();
+    for pattern in [
+        Pattern::UniformRandom,
+        Pattern::BitComplement,
+        Pattern::Transpose,
+        Pattern::Tornado,
+    ] {
+        for cfg in ruche_bench::figures::fig6::configs(dims) {
+            let proto = Testbench::new(pattern, 0.0).quick();
+            jobs.extend(sweep::curve_jobs(&cfg, &proto, &rates));
+        }
+    }
+
+    // Cache off: this benchmark measures simulation throughput, not disk.
+    let mut runner = SweepRunner::new(opts.without_cache());
+    let start = Instant::now();
+    let results = runner.run_all(&jobs);
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let delivered: u64 = results.iter().map(|r| r.delivered).sum();
+    let points_per_sec = jobs.len() as f64 / elapsed;
+    println!(
+        "sweep_smoke: {} points, {} threads, {:.2}s wall ({:.1} points/s, {delivered} packets)",
+        jobs.len(),
+        runner.threads(),
+        elapsed,
+        points_per_sec,
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"sweep_smoke\",\n  \"points\": {},\n  \"threads\": {},\n  \"wall_seconds\": {:.3},\n  \"points_per_second\": {:.2},\n  \"packets_delivered\": {delivered},\n  \"model_version\": \"{}\"\n}}\n",
+        jobs.len(),
+        runner.threads(),
+        elapsed,
+        points_per_sec,
+        sweep::MODEL_VERSION,
+    );
+    write_artifact("BENCH_sweep.json", &json);
+    println!("wrote {}", results_dir().join("BENCH_sweep.json").display());
+}

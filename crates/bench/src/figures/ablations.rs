@@ -13,31 +13,45 @@
 
 use crate::opts::Opts;
 use crate::out::{banner, write_artifact};
+use crate::sweep::{self, SweepRunner};
 use ruche_manycore::prelude::*;
 use ruche_noc::geometry::Dims;
 use ruche_noc::prelude::*;
 use ruche_phys::{min_cycle_time_fo4, router_area, EnergyModel, RouterParams, Tech};
 use ruche_stats::{fmt_f, Csv, Table};
-use ruche_traffic::{saturation_throughput, Pattern};
+use ruche_traffic::Pattern;
 
-fn fifo_depth_ablation(opts: Opts, csv: &mut Csv) {
-    
+fn fifo_depth_ablation(opts: Opts, runner: &mut SweepRunner, csv: &mut Csv) {
     let dims = if opts.quick {
         Dims::new(8, 8)
     } else {
         Dims::new(16, 16)
     };
     println!("-- ablation 1: input FIFO depth ({dims} uniform random saturation) --");
-    let mut t = Table::new(vec!["depth", "mesh", "ruche2-depop", "torus"]);
-    for depth in [1usize, 2, 4, 8] {
-        let mut row = vec![depth.to_string()];
-        for base in [
+    let bases = |dims| {
+        [
             NetworkConfig::mesh(dims),
             NetworkConfig::full_ruche(dims, 2, CrossbarScheme::Depopulated),
             NetworkConfig::torus(dims),
-        ] {
+        ]
+    };
+    let jobs: Vec<_> = [1usize, 2, 4, 8]
+        .iter()
+        .flat_map(|&depth| {
+            bases(dims).map(|b| {
+                sweep::saturation_job(&b.with_fifo_depth(depth), Pattern::UniformRandom, 5)
+            })
+        })
+        .collect();
+    let results = runner.run_all(&jobs);
+    let mut next = results.iter();
+
+    let mut t = Table::new(vec!["depth", "mesh", "ruche2-depop", "torus"]);
+    for depth in [1usize, 2, 4, 8] {
+        let mut row = vec![depth.to_string()];
+        for base in bases(dims) {
             let cfg = base.with_fifo_depth(depth);
-            let sat = saturation_throughput(&cfg, Pattern::UniformRandom, 5);
+            let sat = next.next().expect("saturation result").accepted;
             csv.row([
                 "fifo_depth".to_string(),
                 cfg.label(),
@@ -54,7 +68,7 @@ fn fifo_depth_ablation(opts: Opts, csv: &mut Csv) {
     println!("help the VC router, at area cost the paper charges against it.\n");
 }
 
-fn ruche_factor_ablation(opts: Opts, csv: &mut Csv) {
+fn ruche_factor_ablation(opts: Opts, runner: &mut SweepRunner, csv: &mut Csv) {
     let dims = if opts.quick {
         Dims::new(8, 8)
     } else {
@@ -72,8 +86,13 @@ fn ruche_factor_ablation(opts: Opts, csv: &mut Csv) {
             NetworkConfig::full_ruche(dims, rf, CrossbarScheme::Depopulated)
         });
     }
-    for cfg in cfgs {
-        let sat = saturation_throughput(&cfg, Pattern::UniformRandom, 5);
+    let jobs: Vec<_> = cfgs
+        .iter()
+        .map(|c| sweep::saturation_job(c, Pattern::UniformRandom, 5))
+        .collect();
+    let results = runner.run_all(&jobs);
+    for (cfg, res) in cfgs.into_iter().zip(&results) {
+        let sat = res.accepted;
         let hops = mean_route_hops(&cfg);
         let area = router_area(&RouterParams::of(&cfg), &tech).total();
         csv.row([
@@ -178,7 +197,7 @@ fn channel_width_ablation(_opts: Opts, csv: &mut Csv) {
     println!("while a ruche2 router at 128b costs less than a mesh router at 256b.");
 }
 
-fn pipelined_torus_ablation(opts: Opts, csv: &mut Csv) {
+fn pipelined_torus_ablation(opts: Opts, runner: &mut SweepRunner, csv: &mut Csv) {
     println!("-- ablation 5: pipelining the torus router (§3.2 quantified) --");
     // Figure 7 shows the torus cannot reach the Ruche cycle time without
     // pipelining. Here we grant it that pipeline stage and measure what it
@@ -205,9 +224,20 @@ fn pipelined_torus_ablation(opts: Opts, csv: &mut Csv) {
         "torus pipelined (2 cyc/hop)",
         "torus pipelined, 4-deep FIFOs",
     ];
-    for (cfg, label) in cases.into_iter().zip(labels) {
-        let zl = ruche_traffic::zero_load_latency(&cfg, Pattern::UniformRandom, 5);
-        let sat = saturation_throughput(&cfg, Pattern::UniformRandom, 5);
+    let jobs: Vec<_> = cases
+        .iter()
+        .flat_map(|c| {
+            [
+                sweep::zero_load_job(c, Pattern::UniformRandom, 5),
+                sweep::saturation_job(c, Pattern::UniformRandom, 5),
+            ]
+        })
+        .collect();
+    let results = runner.run_all(&jobs);
+    let mut next = results.iter();
+    for (_cfg, label) in cases.into_iter().zip(labels) {
+        let zl = next.next().expect("zero-load result").avg_latency;
+        let sat = next.next().expect("saturation result").accepted;
         csv.row([
             "pipelined_torus".to_string(),
             label.to_string(),
@@ -305,11 +335,15 @@ pub fn run(opts: Opts) {
     banner("Ablations", "design-choice sweeps beyond the paper");
     let mut csv = Csv::new();
     csv.row(["ablation", "x", "y1", "y2"]);
-    fifo_depth_ablation(opts, &mut csv);
-    ruche_factor_ablation(opts, &mut csv);
+    // The synthetic-traffic ablations share one sweep runner (and thus one
+    // cache handle); the manycore ablations stay serial — their workload
+    // runs go through the `suite` cache instead.
+    let mut runner = SweepRunner::new(opts);
+    fifo_depth_ablation(opts, &mut runner, &mut csv);
+    ruche_factor_ablation(opts, &mut runner, &mut csv);
     mlp_ablation(opts, &mut csv);
     channel_width_ablation(opts, &mut csv);
-    pipelined_torus_ablation(opts, &mut csv);
+    pipelined_torus_ablation(opts, &mut runner, &mut csv);
     dor_order_ablation(opts, &mut csv);
     design_point_32x8_ablation(opts, &mut csv);
     write_artifact("ablations.csv", csv.as_str());

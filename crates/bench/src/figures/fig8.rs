@@ -3,10 +3,11 @@
 
 use crate::opts::Opts;
 use crate::out::{banner, write_artifact};
+use crate::sweep::{SweepJob, SweepRunner};
 use ruche_noc::geometry::Dims;
 use ruche_noc::prelude::*;
 use ruche_stats::{fmt_f, Accum, Csv, Table};
-use ruche_traffic::{run as tb_run, Pattern, Testbench};
+use ruche_traffic::{Pattern, Testbench};
 
 fn configs(dims: Dims) -> Vec<NetworkConfig> {
     use CrossbarScheme::FullyPopulated;
@@ -33,13 +34,20 @@ pub fn run(opts: Opts) {
         tb.warmup = 1_000;
         tb.drain = 2_000;
     }
+    // Per-tile jobs bypass the sweep cache (it stores scalar aggregates)
+    // but still fan out across the worker pool.
+    let jobs: Vec<SweepJob> = configs(dims)
+        .into_iter()
+        .map(|cfg| SweepJob::new(cfg, tb.clone()).with_per_tile())
+        .collect();
+    let results = SweepRunner::new(opts).run_all(&jobs);
+
     let mut csv = Csv::new();
     csv.row(["config", "tile_x", "tile_y", "mean_latency"]);
     let mut t = Table::new(vec!["config", "mean", "stdev", "min", "max", "stdev/mesh"]);
     let mut mesh_stdev = None;
     let mut torus_mean = None;
-    for cfg in configs(dims) {
-        let res = tb_run(&cfg, &tb).expect("pattern valid");
+    for (cfg, res) in configs(dims).into_iter().zip(&results) {
         let mut dist = Accum::new();
         for (i, a) in res.per_tile_latency.iter().enumerate() {
             if a.count() > 0 {

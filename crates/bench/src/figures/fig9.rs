@@ -2,10 +2,11 @@
 
 use crate::opts::Opts;
 use crate::out::{banner, write_artifact};
+use crate::sweep::{self, SweepRunner};
 use ruche_noc::geometry::Dims;
 use ruche_noc::prelude::*;
 use ruche_stats::{fmt_f, Csv, Table};
-use ruche_traffic::{latency_curve, saturation_throughput, Pattern, Testbench};
+use ruche_traffic::{CurvePoint, Pattern, Testbench};
 
 /// The Figure 9 network set for one array size (adds Ruche-4 on 64×8 as
 /// the paper does).
@@ -42,6 +43,26 @@ pub fn run(opts: Opts) {
     } else {
         (1..=20).map(|i| 0.02 * i as f64).collect()
     };
+    // Same fan-out-then-replay structure as Figure 6.
+    let mut jobs = Vec::new();
+    for &dims in &sizes {
+        for pattern in [Pattern::UniformRandom, Pattern::TileToMemory] {
+            for mut cfg in configs(dims) {
+                cfg.edge_memory_ports = true;
+                let proto = if opts.quick {
+                    Testbench::new(pattern, 0.0).quick()
+                } else {
+                    Testbench::new(pattern, 0.0)
+                };
+                jobs.extend(sweep::curve_jobs(&cfg, &proto, &rates));
+                jobs.push(sweep::saturation_job(&cfg, pattern, 3));
+            }
+        }
+    }
+    let mut runner = SweepRunner::new(opts);
+    let results = runner.run_all(&jobs);
+    let mut next = results.iter();
+
     let mut csv = Csv::new();
     csv.row(["size", "pattern", "config", "offered", "accepted", "avg_latency"]);
     for &dims in &sizes {
@@ -59,12 +80,10 @@ pub fn run(opts: Opts) {
             );
             for mut cfg in configs(dims) {
                 cfg.edge_memory_ports = true;
-                let proto = if opts.quick {
-                    Testbench::new(pattern, 0.0).quick()
-                } else {
-                    Testbench::new(pattern, 0.0)
-                };
-                let curve = latency_curve(&cfg, &proto, &rates);
+                let curve: Vec<CurvePoint> = rates
+                    .iter()
+                    .map(|_| sweep::curve_point(next.next().expect("curve result")))
+                    .collect();
                 for pt in &curve {
                     csv.row([
                         format!("{dims}"),
@@ -81,7 +100,7 @@ pub fn run(opts: Opts) {
                     .map(|p| (p.offered, p.avg_latency))
                     .collect();
                 plot.series(&cfg.label(), &pts);
-                let sat = saturation_throughput(&cfg, pattern, 3);
+                let sat = next.next().expect("saturation result").accepted;
                 t.row(vec![
                     cfg.label(),
                     fmt_f(curve[0].avg_latency, 1),

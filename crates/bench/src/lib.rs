@@ -30,5 +30,7 @@ pub mod figures;
 pub mod opts;
 pub mod out;
 pub mod suite;
+pub mod sweep;
 
 pub use opts::Opts;
+pub use sweep::{SweepJob, SweepRunner};

@@ -5,24 +5,81 @@
 pub struct Opts {
     /// Reduced sweeps for smoke runs (`--quick` or `RUCHE_QUICK=1`).
     pub quick: bool,
+    /// Worker-pool width for the sweep engine (`--threads N`,
+    /// `--threads=N`, or `RUCHE_THREADS=N`; defaults to the machine's
+    /// available parallelism).
+    pub threads: usize,
+    /// Skip the on-disk sweep cache (`--no-cache` or `RUCHE_NO_CACHE=1`).
+    pub no_cache: bool,
+}
+
+/// The machine's available parallelism (1 if it can't be queried).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 impl Opts {
     /// Parses from the process arguments and environment.
     pub fn from_env() -> Self {
-        let quick = std::env::args().any(|a| a == "--quick")
-            || std::env::var("RUCHE_QUICK").map(|v| v == "1").unwrap_or(false);
-        Opts { quick }
+        let args: Vec<String> = std::env::args().collect();
+        Self::parse(&args, |k| std::env::var(k).ok())
+    }
+
+    /// Parses from explicit arguments and an environment lookup (the
+    /// testable core of [`Self::from_env`]).
+    pub fn parse(args: &[String], env: impl Fn(&str) -> Option<String>) -> Self {
+        let flag = |name: &str, var: &str| {
+            args.iter().any(|a| a == name) || env(var).as_deref() == Some("1")
+        };
+        let mut threads = None;
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if a == "--threads" {
+                threads = it.next().and_then(|v| v.parse().ok());
+            } else if let Some(v) = a.strip_prefix("--threads=") {
+                threads = v.parse().ok();
+            }
+        }
+        let threads = threads
+            .or_else(|| env("RUCHE_THREADS").and_then(|v| v.parse().ok()))
+            .filter(|&n| n > 0)
+            .unwrap_or_else(default_threads);
+        Opts {
+            quick: flag("--quick", "RUCHE_QUICK"),
+            threads,
+            no_cache: flag("--no-cache", "RUCHE_NO_CACHE"),
+        }
     }
 
     /// Full-sweep options.
     pub fn full() -> Self {
-        Opts { quick: false }
+        Opts {
+            quick: false,
+            threads: default_threads(),
+            no_cache: false,
+        }
     }
 
     /// Quick-sweep options.
     pub fn quick() -> Self {
-        Opts { quick: true }
+        Opts {
+            quick: true,
+            ..Self::full()
+        }
+    }
+
+    /// Overrides the worker-pool width.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Disables the on-disk sweep cache.
+    pub fn without_cache(mut self) -> Self {
+        self.no_cache = true;
+        self
     }
 }
 
@@ -30,9 +87,52 @@ impl Opts {
 mod tests {
     use super::*;
 
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    const NO_ENV: fn(&str) -> Option<String> = |_| None;
+
     #[test]
     fn constructors() {
         assert!(Opts::quick().quick);
         assert!(!Opts::full().quick);
+        assert!(Opts::full().threads >= 1);
+        assert!(!Opts::full().no_cache);
+        assert_eq!(Opts::full().with_threads(3).threads, 3);
+        assert!(Opts::full().without_cache().no_cache);
+    }
+
+    #[test]
+    fn parses_threads_flag_both_forms() {
+        let o = Opts::parse(&strs(&["bench", "--threads", "7"]), NO_ENV);
+        assert_eq!(o.threads, 7);
+        let o = Opts::parse(&strs(&["bench", "--threads=5", "--quick"]), NO_ENV);
+        assert_eq!(o.threads, 5);
+        assert!(o.quick);
+    }
+
+    #[test]
+    fn parses_threads_env_and_flag_precedence() {
+        let env = |k: &str| (k == "RUCHE_THREADS").then(|| "3".to_string());
+        assert_eq!(Opts::parse(&strs(&["bench"]), env).threads, 3);
+        // An explicit flag beats the environment.
+        assert_eq!(Opts::parse(&strs(&["bench", "--threads=2"]), env).threads, 2);
+    }
+
+    #[test]
+    fn rejects_zero_and_garbage_thread_counts() {
+        let o = Opts::parse(&strs(&["bench", "--threads", "0"]), NO_ENV);
+        assert!(o.threads >= 1);
+        let o = Opts::parse(&strs(&["bench", "--threads", "lots"]), NO_ENV);
+        assert_eq!(o.threads, default_threads());
+    }
+
+    #[test]
+    fn parses_no_cache() {
+        assert!(Opts::parse(&strs(&["bench", "--no-cache"]), NO_ENV).no_cache);
+        let env = |k: &str| (k == "RUCHE_NO_CACHE").then(|| "1".to_string());
+        assert!(Opts::parse(&strs(&["bench"]), env).no_cache);
+        assert!(!Opts::parse(&strs(&["bench"]), NO_ENV).no_cache);
     }
 }

@@ -146,8 +146,8 @@ impl Entry {
 }
 
 /// Bump when anything that invalidates cached runs changes (engine,
-/// kernels, calibration).
-const CACHE_VERSION: &str = "v4";
+/// kernels, calibration). v5: vendored RNG changed workload streams.
+const CACHE_VERSION: &str = "v5";
 
 /// The run cache: maps (array, network label, workload) to aggregates,
 /// persisted as TSV under `results/cache.tsv`.

@@ -55,6 +55,36 @@ impl RoundRobin {
         self.grant(w);
         Some(w)
     }
+
+    /// [`Self::pick`] over a request bitmask (bit `i` = requester `i`),
+    /// the allocation-free form the simulator's hot path uses.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if the mask has bits at or above `n`, or `n > 32`.
+    pub fn pick_mask(&self, mask: u32) -> Option<usize> {
+        debug_assert!(self.n <= 32);
+        debug_assert_eq!(mask >> (self.n - 1) >> 1, 0, "mask wider than arbiter");
+        if mask == 0 {
+            return None;
+        }
+        // Round-robin search from `last + 1`: first set bit at or above the
+        // start, else wrap to the lowest set bit (all below the start).
+        let start = (self.last + 1) % self.n;
+        let high = mask >> start;
+        if high != 0 {
+            Some(start + high.trailing_zeros() as usize)
+        } else {
+            Some(mask.trailing_zeros() as usize)
+        }
+    }
+
+    /// [`Self::pick_and_grant`] over a request bitmask.
+    pub fn pick_and_grant_mask(&mut self, mask: u32) -> Option<usize> {
+        let w = self.pick_mask(mask)?;
+        self.grant(w);
+        Some(w)
+    }
 }
 
 /// An acyclic wavefront allocator over an `n_in × n_out` request matrix.
@@ -93,27 +123,52 @@ impl Wavefront {
     /// Panics if the matrix shape does not match the allocator.
     pub fn allocate(&mut self, requests: &[Vec<bool>]) -> Vec<Option<usize>> {
         assert_eq!(requests.len(), self.n_in);
-        let diag = self.n_in.max(self.n_out);
+        let masks: Vec<u32> = requests
+            .iter()
+            .map(|row| {
+                assert_eq!(row.len(), self.n_out);
+                row.iter()
+                    .enumerate()
+                    .fold(0u32, |m, (o, &r)| m | ((r as u32) << o))
+            })
+            .collect();
         let mut grant_in = vec![None; self.n_in];
-        let mut out_taken = vec![false; self.n_out];
+        self.allocate_into(&masks, &mut grant_in);
+        grant_in
+    }
+
+    /// [`Self::allocate`] over per-input request bitmasks (bit `o` of
+    /// `requests[i]` = input `i` requests output `o`), writing grants into
+    /// a caller-owned buffer — the allocation-free form the simulator's hot
+    /// path uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests` or `grant_in` don't match the allocator shape;
+    /// debug-panics if `n_out > 32`.
+    pub fn allocate_into(&mut self, requests: &[u32], grant_in: &mut [Option<usize>]) {
+        assert_eq!(requests.len(), self.n_in);
+        assert_eq!(grant_in.len(), self.n_in);
+        debug_assert!(self.n_out <= 32);
+        let diag = self.n_in.max(self.n_out);
+        grant_in.fill(None);
+        let mut out_taken = 0u32;
         // Sweep wavefronts starting at the priority diagonal; within a
         // wavefront each (i, o) with i + o ≡ d (mod diag) is independent.
         for k in 0..diag {
             let d = (self.priority + k) % diag;
-            for i in 0..self.n_in {
-                if grant_in[i].is_some() {
+            for (i, g) in grant_in.iter_mut().enumerate() {
+                if g.is_some() {
                     continue;
                 }
-                assert_eq!(requests[i].len(), self.n_out);
                 let o = (d + diag - i % diag) % diag;
-                if o < self.n_out && requests[i][o] && !out_taken[o] {
-                    grant_in[i] = Some(o);
-                    out_taken[o] = true;
+                if o < self.n_out && requests[i] & (1 << o) != 0 && out_taken & (1 << o) == 0 {
+                    *g = Some(o);
+                    out_taken |= 1 << o;
                 }
             }
         }
         self.priority = (self.priority + 1) % diag;
-        grant_in
     }
 }
 
@@ -222,5 +277,37 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_dims_panic() {
         Wavefront::new(0, 3);
+    }
+
+    #[test]
+    fn pick_mask_matches_pick() {
+        for n in 1..=9usize {
+            // Two arbiters stepped in lockstep over every request pattern.
+            let mut a = RoundRobin::new(n);
+            let mut b = RoundRobin::new(n);
+            for mask in 0..(1u32 << n) {
+                let bools: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+                assert_eq!(a.pick(&bools), b.pick_mask(mask), "n={n} mask={mask:b}");
+                assert_eq!(a.pick_and_grant(&bools), b.pick_and_grant_mask(mask));
+            }
+        }
+    }
+
+    #[test]
+    fn allocate_into_matches_allocate() {
+        let mut a = Wavefront::new(5, 5);
+        let mut b = Wavefront::new(5, 5);
+        let mut grants = vec![None; 5];
+        // A deterministic mix of request matrices, cycled to rotate priority.
+        for round in 0u32..40 {
+            let masks: Vec<u32> = (0..5).map(|i| (round.wrapping_mul(31) >> i) & 0x1F).collect();
+            let bools: Vec<Vec<bool>> = masks
+                .iter()
+                .map(|&m| (0..5).map(|o| m & (1 << o) != 0).collect())
+                .collect();
+            let expect = a.allocate(&bools);
+            b.allocate_into(&masks, &mut grants);
+            assert_eq!(expect, grants, "round {round}");
+        }
     }
 }

@@ -124,11 +124,30 @@ pub struct Network {
     /// Flits bound for each (node, port, vc) FIFO but still in the
     /// pipeline; counted against downstream space by wormhole ready checks.
     pending_arrivals: Vec<u32>,
-    // Reusable scratch.
-    scratch_want: Vec<Option<(usize, u8)>>,
+    /// Routers with at least one buffered flit, the only ones the planners
+    /// visit. Kept sorted ascending (deterministic plan order); membership
+    /// mirrored in `on_active`.
+    active: Vec<u32>,
+    on_active: Vec<bool>,
+    /// Set when `active` gained members since its last sort.
+    active_dirty: bool,
+    /// Endpoints with a non-empty source queue, the only ones the injection
+    /// planner visits. Same sorted-worklist discipline as `active`.
+    active_src: Vec<u32>,
+    on_active_src: Vec<bool>,
+    active_src_dirty: bool,
+    // Reusable scratch (all allocated once at construction: the cycle loop
+    // performs no heap allocation in steady state).
     scratch_transfers: Vec<Transfer>,
-    scratch_req: Vec<Vec<bool>>,
-    scratch_inject: Vec<bool>,
+    /// Per-port request bitmasks: per-output masks of inputs (wormhole) or
+    /// per-input masks of outputs (VC allocator).
+    scratch_req_mask: Vec<u32>,
+    /// VC plan: per-input (in_vc, out_port, out_vc) surviving VC selection.
+    scratch_chosen: Vec<Option<(usize, usize, u8)>>,
+    /// VC plan: allocator grant buffer.
+    scratch_grants: Vec<Option<usize>>,
+    /// Endpoints planned to inject this cycle.
+    scratch_inject: Vec<u32>,
 }
 
 impl Network {
@@ -200,7 +219,7 @@ impl Network {
             upstream,
             sources: vec![VecDeque::new(); n_eps],
             entries,
-            ejected: Vec::new(),
+            ejected: Vec::with_capacity(n_eps),
             cycle: 0,
             stats: NetStats::default(),
             in_flight: 0,
@@ -212,12 +231,30 @@ impl Network {
             in_transit: VecDeque::new(),
             in_transit_eject: VecDeque::new(),
             pending_arrivals: vec![0; n_nodes * np * max_vcs],
-            scratch_want: vec![None; n_nodes * np],
-            scratch_transfers: Vec::new(),
-            scratch_req: vec![vec![false; np]; np],
-            scratch_inject: vec![false; n_eps],
+            active: Vec::with_capacity(n_nodes),
+            on_active: vec![false; n_nodes],
+            active_dirty: false,
+            active_src: Vec::with_capacity(n_eps),
+            on_active_src: vec![false; n_eps],
+            active_src_dirty: false,
+            // One transfer per (node, output port) is the per-cycle maximum.
+            scratch_transfers: Vec::with_capacity(n_nodes * np),
+            scratch_req_mask: vec![0; np],
+            scratch_chosen: vec![None; np],
+            scratch_grants: vec![None; np],
+            scratch_inject: Vec::with_capacity(n_eps),
             cfg,
         })
+    }
+
+    /// Puts `node` on the planners' worklist (no-op if already there).
+    #[inline]
+    fn mark_active(&mut self, node: usize) {
+        if !self.on_active[node] {
+            self.on_active[node] = true;
+            self.active.push(node as u32);
+            self.active_dirty = true;
+        }
     }
 
     /// The network configuration.
@@ -315,6 +352,11 @@ impl Network {
     /// Queues a flit at endpoint `ep`'s (unbounded) source queue.
     pub fn enqueue(&mut self, ep: EndpointId, flit: Flit) {
         self.sources[ep.0].push_back(flit);
+        if !self.on_active_src[ep.0] {
+            self.on_active_src[ep.0] = true;
+            self.active_src.push(ep.0 as u32);
+            self.active_src_dirty = true;
+        }
     }
 
     /// Number of flits waiting in `ep`'s source queue.
@@ -347,6 +389,7 @@ impl Network {
                 .try_push(flit)
                 .expect("pipeline arrivals have reserved space");
             self.occupancy[node] += 1;
+            self.mark_active(node);
             arrived_any = true;
         }
         while self
@@ -363,16 +406,29 @@ impl Network {
         if arrived_any {
             self.last_progress = self.cycle;
         }
-        // Plan injections against cycle-start occupancy.
-        for e in 0..self.sources.len() {
-            self.scratch_inject[e] = if self.sources[e].is_empty() {
-                false
-            } else {
-                let (node, ip) = self.entries[e];
-                let f = &self.routers[node].inputs[ip].vcs[0];
-                f.len() < f.capacity()
-            };
+        // Worklists stay sorted ascending so the plan (and hence ejection)
+        // order is identical to a full node scan.
+        if self.active_dirty {
+            self.active.sort_unstable();
+            self.active_dirty = false;
         }
+        if self.active_src_dirty {
+            self.active_src.sort_unstable();
+            self.active_src_dirty = false;
+        }
+
+        // Plan injections against cycle-start occupancy. Only endpoints
+        // with queued flits are visited.
+        self.scratch_inject.clear();
+        let srcs = std::mem::take(&mut self.active_src);
+        for &e in &srcs {
+            let (node, ip) = self.entries[e as usize];
+            let f = &self.routers[node].inputs[ip].vcs[0];
+            if f.len() < f.capacity() {
+                self.scratch_inject.push(e);
+            }
+        }
+        self.active_src = srcs;
 
         if self.cfg.is_vc_router() {
             self.plan_vc();
@@ -388,22 +444,43 @@ impl Network {
         self.scratch_transfers.clear();
 
         // Commit injections.
-        let mut injected_any = false;
-        for e in 0..self.sources.len() {
-            if self.scratch_inject[e] {
-                let (node, ip) = self.entries[e];
-                let flit = self.sources[e].pop_front().expect("planned non-empty");
-                self.routers[node].inputs[ip].vcs[0]
-                    .try_push(flit).expect("space checked at cycle start");
-                self.occupancy[node] += 1;
-                self.stats.injected += 1;
-                self.in_flight += 1;
-                injected_any = true;
-            }
+        let planned = std::mem::take(&mut self.scratch_inject);
+        let injected_any = !planned.is_empty();
+        for &e in &planned {
+            let (node, ip) = self.entries[e as usize];
+            let flit = self.sources[e as usize].pop_front().expect("planned non-empty");
+            self.routers[node].inputs[ip].vcs[0]
+                .try_push(flit).expect("space checked at cycle start");
+            self.occupancy[node] += 1;
+            self.mark_active(node);
+            self.stats.injected += 1;
+            self.in_flight += 1;
         }
+        self.scratch_inject = planned;
         if progressed || injected_any {
             self.last_progress = self.cycle;
         }
+
+        // Retire drained routers and sources from the worklists.
+        let mut active = std::mem::take(&mut self.active);
+        active.retain(|&n| {
+            let keep = self.occupancy[n as usize] > 0;
+            if !keep {
+                self.on_active[n as usize] = false;
+            }
+            keep
+        });
+        self.active = active;
+        let mut srcs = std::mem::take(&mut self.active_src);
+        srcs.retain(|&e| {
+            let keep = !self.sources[e as usize].is_empty();
+            if !keep {
+                self.on_active_src[e as usize] = false;
+            }
+            keep
+        });
+        self.active_src = srcs;
+
         self.cycle += 1;
         &self.ejected
     }
@@ -452,29 +529,22 @@ impl Network {
     /// the single pass is equivalent to the synchronous two-phase update.
     fn plan_wormhole(&mut self) {
         let np = self.ports.len();
-        let n_nodes = self.routers.len();
-        let mut reqs = vec![false; np];
-        for node in 0..n_nodes {
-            if self.occupancy[node] == 0 {
-                continue;
-            }
+        let active = std::mem::take(&mut self.active);
+        for &node in &active {
+            let node = node as usize;
+            debug_assert!(self.occupancy[node] > 0, "idle router on the worklist");
+            // Per-output request masks (bit = input port), from each input
+            // head's memoized route decision.
+            self.scratch_req_mask.fill(0);
             for ip in 0..np {
-                self.scratch_want[ip] = self.routers[node].inputs[ip].vcs[0]
-                    .head()
-                    .copied().map(|f| {
-                        let (op, _) = self.head_route(node, ip, 0, &f);
-                        (op, 0)
-                    });
+                if let Some(f) = self.routers[node].inputs[ip].vcs[0].head().copied() {
+                    let (op, _) = self.head_route(node, ip, 0, &f);
+                    self.scratch_req_mask[op] |= 1 << ip;
+                }
             }
             for op in 0..np {
-                let mut any = false;
-                #[allow(clippy::needless_range_loop)] // indexes several parallel arrays
-                for ip in 0..np {
-                    let w = matches!(self.scratch_want[ip], Some((o, _)) if o == op);
-                    reqs[ip] = w;
-                    any |= w;
-                }
-                if !any {
+                let reqs = self.scratch_req_mask[op];
+                if reqs == 0 {
                     continue;
                 }
                 let ready = match self.out_links[node * np + op] {
@@ -492,9 +562,9 @@ impl Network {
                 }
                 let lock = self.routers[node].outputs[op].lock;
                 let winner = if let Some(owner) = lock {
-                    reqs[owner].then_some(owner)
+                    (reqs & (1 << owner) != 0).then_some(owner)
                 } else {
-                    self.routers[node].outputs[op].rr.pick_and_grant(&reqs)
+                    self.routers[node].outputs[op].rr.pick_and_grant_mask(reqs)
                 };
                 if let Some(ip) = winner {
                     self.scratch_transfers.push(Transfer {
@@ -507,24 +577,23 @@ impl Network {
                 }
             }
         }
+        self.active = active;
     }
 
     /// VC-router plan: ready-then-valid requests (credit-gated), one VC per
     /// input port, wavefront switch allocation. Idle routers are skipped.
     fn plan_vc(&mut self) {
         let np = self.ports.len();
-        let n_nodes = self.routers.len();
         let mut valid = [false; 8];
         let mut decision = [None::<(usize, u8)>; 8];
-        let mut chosen: Vec<Option<(usize, usize, u8)>> = vec![None; np];
-        for node in 0..n_nodes {
-            if self.occupancy[node] == 0 {
-                continue;
-            }
-            for row in self.scratch_req.iter_mut() {
-                row.fill(false);
-            }
-            chosen.fill(None);
+        let active = std::mem::take(&mut self.active);
+        for &node in &active {
+            let node = node as usize;
+            debug_assert!(self.occupancy[node] > 0, "idle router on the worklist");
+            // Per-input request masks (bit = output port) for the wavefront
+            // allocator.
+            self.scratch_req_mask.fill(0);
+            self.scratch_chosen.fill(None);
             #[allow(clippy::needless_range_loop)] // indexes several parallel arrays
             for ip in 0..np {
                 let n_vcs = self.routers[node].inputs[ip].vcs.len();
@@ -550,15 +619,16 @@ impl Network {
                 }
                 if let Some(v) = self.routers[node].inputs[ip].rr_vc.pick(&valid[..n_vcs]) {
                     let (op, out_vc) = decision[v].expect("valid implies decision");
-                    chosen[ip] = Some((v, op, out_vc));
-                    self.scratch_req[ip][op] = true;
+                    self.scratch_chosen[ip] = Some((v, op, out_vc));
+                    self.scratch_req_mask[ip] |= 1 << op;
                 }
             }
             let r = &mut self.routers[node];
-            let grants = r.allocator.allocate(&self.scratch_req);
+            r.allocator
+                .allocate_into(&self.scratch_req_mask, &mut self.scratch_grants);
             for ip in 0..np {
-                if let Some(op) = grants[ip] {
-                    let (v, op2, out_vc) = chosen[ip].expect("granted implies chosen");
+                if let Some(op) = self.scratch_grants[ip] {
+                    let (v, op2, out_vc) = self.scratch_chosen[ip].expect("granted implies chosen");
                     debug_assert_eq!(op, op2);
                     r.inputs[ip].rr_vc.grant(v);
                     self.scratch_transfers.push(Transfer {
@@ -571,6 +641,7 @@ impl Network {
                 }
             }
         }
+        self.active = active;
     }
 
     fn commit(&mut self, t: Transfer) {
@@ -619,6 +690,7 @@ impl Network {
                         .try_push(flit)
                         .expect("downstream space guaranteed by flow control");
                     self.occupancy[dn] += 1;
+                    self.mark_active(dn);
                 } else {
                     // Extra pipeline stages: the flit becomes visible
                     // downstream `stages` cycles later than a single-cycle

@@ -1,0 +1,113 @@
+//! `Network::step` performs no heap allocation in steady state.
+//!
+//! A counting wrapper around the system allocator tallies every allocation
+//! in this test binary (which is why this lives alone in its own
+//! integration-test file). After a warmup that grows all reusable scratch
+//! buffers to their high-water marks, further cycles — including active
+//! traffic — must allocate nothing.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use ruche_noc::packet::Flit;
+use ruche_noc::prelude::*;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Drives `net` under random traffic; flits are pre-generated so the
+/// measured region contains only `enqueue` + `step`.
+fn assert_steady_state_alloc_free(cfg: NetworkConfig, label: &str) {
+    let dims = cfg.dims;
+    let mut net = Network::new(cfg).unwrap();
+    let mut rng = SmallRng::seed_from_u64(11);
+    let mut traffic: Vec<Vec<(EndpointId, Flit)>> = Vec::new();
+    let mut id = 0u64;
+    for cycle in 0..600u64 {
+        let mut batch = Vec::new();
+        for c in dims.iter() {
+            if rng.gen_bool(0.25) {
+                let d = Coord::new(rng.gen_range(0..dims.cols), rng.gen_range(0..dims.rows));
+                batch.push((
+                    net.tile_endpoint(c),
+                    Flit::single(c, Dest::tile(d), id, cycle),
+                ));
+                id += 1;
+            }
+        }
+        traffic.push(batch);
+    }
+
+    // Warmup: the first 300 cycles grow every scratch buffer, source queue,
+    // and the ejection vector to their high-water marks.
+    let mut batches = traffic.into_iter();
+    for batch in batches.by_ref().take(300) {
+        for &(ep, f) in &batch {
+            net.enqueue(ep, f);
+        }
+        net.step();
+    }
+
+    // Measured region: every remaining step, under load and through the
+    // drain. Enqueues stay outside the count — source queues are unbounded
+    // by design and may still grow.
+    let mut in_step = 0u64;
+    for batch in batches {
+        for &(ep, f) in &batch {
+            net.enqueue(ep, f);
+        }
+        let before = allocations();
+        net.step();
+        in_step += allocations() - before;
+    }
+    while net.in_flight() > 0 || net.queued() > 0 {
+        let before = allocations();
+        net.step();
+        in_step += allocations() - before;
+        assert!(net.cycles_since_progress() < 20_000, "{label}: drain stalled");
+    }
+    assert_eq!(
+        in_step, 0,
+        "{label}: {in_step} heap allocations inside steady-state `step` calls"
+    );
+}
+
+#[test]
+fn wormhole_step_is_allocation_free_in_steady_state() {
+    let dims = Dims::new(8, 8);
+    assert_steady_state_alloc_free(NetworkConfig::mesh(dims), "mesh");
+    assert_steady_state_alloc_free(
+        NetworkConfig::full_ruche(dims, 2, CrossbarScheme::Depopulated),
+        "ruche",
+    );
+}
+
+#[test]
+fn vc_step_is_allocation_free_in_steady_state() {
+    assert_steady_state_alloc_free(NetworkConfig::torus(Dims::new(8, 8)), "torus");
+}

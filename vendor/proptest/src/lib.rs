@@ -1,0 +1,319 @@
+//! Offline stub of `proptest`, covering the subset this workspace uses.
+//!
+//! Real proptest shrinks failing inputs and persists regression seeds; this
+//! stub only *samples*: each `proptest!` test runs its body over `cases`
+//! deterministically-seeded random inputs (seeded from the test name, so
+//! failures reproduce run-to-run). The strategy surface implemented:
+//!
+//! * integer ranges (`0u16..9`, `1u32..=60`) and `any::<T>()`,
+//! * tuples of strategies (arity 1–6),
+//! * [`Strategy::prop_map`],
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` (hard asserts
+//!   here — no shrinking) and `prop_assume!` (skips the case),
+//! * `ProptestConfig::with_cases`.
+//!
+//! `.proptest-regressions` files are ignored. Swap in real proptest when
+//! the build environment has crates.io access.
+
+#![warn(missing_docs)]
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// The sampling source handed to strategies (deterministic per test).
+#[derive(Debug)]
+pub struct TestRunner {
+    rng: SmallRng,
+}
+
+impl TestRunner {
+    /// Creates a runner seeded from a test-name hash.
+    pub fn new(seed: u64) -> Self {
+        TestRunner {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The underlying RNG.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+}
+
+/// FNV-1a, used to derive a per-test seed from its name.
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A generator of test inputs.
+pub trait Strategy {
+    /// Generated value type.
+    type Value;
+
+    /// Samples one value.
+    fn sample(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, runner: &mut TestRunner) -> O {
+        (self.f)(self.inner.sample(runner))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types with a default "anything" strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Samples an arbitrary value.
+    fn arbitrary(runner: &mut TestRunner) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(runner: &mut TestRunner) -> bool {
+        runner.rng().gen()
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(runner: &mut TestRunner) -> $t {
+                runner.rng().gen()
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(runner: &mut TestRunner) -> f64 {
+        runner.rng().gen()
+    }
+}
+
+/// The `any::<T>()` strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+/// Strategy producing arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, runner: &mut TestRunner) -> T {
+        T::arbitrary(runner)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, runner: &mut TestRunner) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(runner),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Asserts a condition inside a property body (hard assert in the stub).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when the assumption does not hold.
+///
+/// Expands to a `continue` targeting the case loop generated by
+/// [`proptest!`], so it may only appear at statement level in a property
+/// body (the only place this workspace uses it).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($rest:tt)*)?) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    // Internal `@cfg` arms come first: the public entry arm below is a
+    // catch-all that would otherwise re-match (and re-wrap) internal
+    // recursive calls forever.
+    (@cfg ($cfg:expr) ) => {};
+    (@cfg ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        // `$meta` includes the caller's `#[test]`, re-emitted verbatim on
+        // the generated zero-argument test function.
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __runner =
+                $crate::TestRunner::new($crate::fnv1a(concat!(module_path!(), "::", stringify!($name))));
+            let __strategy = ($($strat,)*);
+            for __case in 0..__config.cases {
+                let ($($arg,)*) = $crate::Strategy::sample(&__strategy, &mut __runner);
+                $body
+            }
+        }
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn sample_of<S: Strategy>(s: S) -> S::Value {
+        let mut runner = crate::TestRunner::new(1);
+        s.sample(&mut runner)
+    }
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        for _ in 0..100 {
+            let v = sample_of(3u16..9);
+            assert!((3..9).contains(&v));
+            let w = sample_of(1u32..=60);
+            assert!((1..=60).contains(&w));
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let s = (2u16..4).prop_map(|v| v * 10);
+        let v = sample_of(s);
+        assert!(v == 20 || v == 30);
+    }
+
+    #[test]
+    fn tuples_sample_elementwise() {
+        let (a, b, c) = sample_of((0u8..2, any::<bool>(), 5usize..6));
+        assert!(a < 2);
+        let _: bool = b;
+        assert_eq!(c, 5);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The macro itself: runs, samples in bounds, supports assume.
+        #[test]
+        fn macro_generates_cases(x in 0u16..10, flip in any::<bool>()) {
+            prop_assume!(x > 0);
+            prop_assert!(x < 10);
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(x, 100);
+            let _ = flip;
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Offline, dependency-free subset of the `rand` 0.8 API.
+//!
+//! The container this repository builds in has no crates.io access, so the
+//! workspace vendors the pieces of `rand` it actually uses: [`SmallRng`]
+//! (xoshiro256++ seeded via SplitMix64, the same generator `rand` 0.8 uses
+//! on 64-bit targets), the [`Rng`]/[`RngCore`]/[`SeedableRng`] traits, and
+//! the uniform/Bernoulli sampling helpers (`gen`, `gen_range`, `gen_bool`,
+//! `gen_ratio`). Streams are fully deterministic given a seed; nothing here
+//! reads OS entropy.
+
+#![warn(missing_docs)]
+
+pub mod rngs;
+
+pub use rngs::SmallRng;
+
+/// Low-level uniform bit generation.
+pub trait RngCore {
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction of generators from seeds.
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanded with SplitMix64 (the
+    /// expansion `rand` 0.8 uses, so seeded streams are portable).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            // SplitMix64 with the standard increment and mixers.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            for (b, out) in z.to_le_bytes().iter().zip(chunk.iter_mut()) {
+                *out = *b;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types samplable uniformly from the "standard" distribution
+/// (`rng.gen::<T>()`).
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform bits in [0, 1), the float conversion rand uses.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Integer types samplable uniformly from a range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[low, high)`; `high > low`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                debug_assert!(low < high, "gen_range: empty range");
+                let span = (high as u64).wrapping_sub(low as u64);
+                low.wrapping_add(uniform_u64(rng, span) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Unbiased uniform draw from `[0, span)` by rejection (Lemire-style
+/// threshold on the low word).
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    if span.is_power_of_two() {
+        return rng.next_u64() & (span - 1);
+    }
+    // Reject draws from the final partial block.
+    let zone = u64::MAX - (u64::MAX - span + 1) % span;
+    loop {
+        let v = rng.next_u64();
+        let (hi, lo) = widening_mul(v, span);
+        if lo <= zone {
+            return hi;
+        }
+    }
+}
+
+fn widening_mul(a: u64, b: u64) -> (u64, u64) {
+    let wide = (a as u128) * (b as u128);
+    ((wide >> 64) as u64, wide as u64)
+}
+
+/// Range forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, self.start, self.end)
+    }
+}
+
+macro_rules! impl_sample_range_inclusive {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (low, high) = (*self.start(), *self.end());
+                debug_assert!(low <= high, "gen_range: empty range");
+                let span = (high as u64).wrapping_sub(low as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full domain of a 64-bit type.
+                    return rng.next_u64() as $t;
+                }
+                low.wrapping_add(uniform_u64(rng, span) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_range_inclusive!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// High-level sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform draw from `T`'s standard distribution.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Uniform draw from `range`.
+    fn gen_range<T, Rg>(&mut self, range: Rg) -> T
+    where
+        T: SampleUniform,
+        Rg: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} not in [0, 1]");
+        if p >= 1.0 {
+            return true;
+        }
+        // Compare against p scaled to 64 fractional bits.
+        let threshold = (p * (1u128 << 64) as f64) as u64;
+        self.next_u64() < threshold
+    }
+
+    /// Bernoulli draw with probability `numerator / denominator`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `denominator` is zero or the ratio exceeds 1.
+    fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
+        assert!(
+            denominator > 0 && numerator <= denominator,
+            "gen_ratio: {numerator}/{denominator} not in [0, 1]"
+        );
+        if numerator == denominator {
+            return true;
+        }
+        uniform_u64(self, denominator as u64) < numerator as u64
+    }
+
+    /// Fills `dest` with uniform bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&v[..n]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: u16 = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: usize = rng.gen_range(0..5);
+            assert!(w < 5);
+            let x: i32 = rng.gen_range(-10..=10);
+            assert!((-10..=10).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_the_range_roughly_uniformly() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut counts = [0u32; 6];
+        for _ in 0..60_000 {
+            counts[rng.gen_range(0..6usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((29_000..31_000).contains(&hits), "{hits}");
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+    }
+
+    #[test]
+    fn gen_ratio_matches_probability() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let hits = (0..100_000).filter(|_| rng.gen_ratio(1, 4)).count();
+        assert!((24_000..26_000).contains(&hits), "{hits}");
+        assert!((0..100).all(|_| rng.gen_ratio(5, 5)));
+    }
+
+    #[test]
+    fn standard_f64_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn works_through_unsized_references() {
+        fn takes_dyn(rng: &mut (dyn RngCore + '_)) -> u16 {
+            rng.gen_range(0..10)
+        }
+        let mut rng = SmallRng::seed_from_u64(6);
+        assert!(takes_dyn(&mut rng) < 10);
+    }
+}

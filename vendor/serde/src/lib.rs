@@ -1,0 +1,17 @@
+//! Offline stub of the `serde` facade.
+//!
+//! Exposes the `Serialize`/`Deserialize` trait names and re-exports the
+//! no-op derive macros, so `use serde::{Serialize, Deserialize}` plus
+//! `#[derive(Serialize, Deserialize)]` compile without registry access.
+//! No serialization machinery is provided — nothing in the workspace
+//! serializes yet; swap in real serde when the environment has crates.io.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the stub).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the stub).
+pub trait Deserialize<'de> {}

@@ -1,0 +1,20 @@
+//! No-op `Serialize`/`Deserialize` derives.
+//!
+//! The workspace derives serde traits on config and stats types so that a
+//! real serde can be dropped in when the build environment has registry
+//! access; nothing in-tree performs serialization yet. These derives
+//! accept the same attribute surface and expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; satisfies `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; satisfies `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
