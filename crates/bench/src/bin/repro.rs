@@ -1,7 +1,7 @@
 //! Regenerates the paper's full evaluation in order:
 //! `cargo run --release -p ruche-bench --bin repro [-- --quick]`.
 
-use ruche_bench::{figures, Opts};
+use ruche_bench::{figures, preflight, Opts};
 
 fn main() {
     let opts = Opts::from_env();
@@ -9,6 +9,14 @@ fn main() {
         "Reproducing 'Evaluating Ruche Networks' (ISCA '25){}",
         if opts.quick { " [quick sweep]" } else { "" }
     );
+    // Prove every configuration deadlock-free before simulating any of
+    // them; `--verify-only` stops here (see also the `verify_net` bin).
+    if !preflight::verify_paper_grid() {
+        std::process::exit(1);
+    }
+    if opts.verify_only {
+        return;
+    }
     figures::table1::run(opts);
     figures::fig6::run(opts);
     figures::fig7::run(opts);

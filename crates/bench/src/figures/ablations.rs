@@ -119,7 +119,11 @@ fn mlp_ablation(opts: Opts, csv: &mut Csv) {
     let dims = Dims::new(16, 8);
     let (bench, ds) = (Benchmark::Fft, DatasetId::Fft16K);
     let w = Workload::build(bench, ds, dims);
-    let limits: &[u32] = if opts.quick { &[4, 16] } else { &[2, 4, 8, 16, 32] };
+    let limits: &[u32] = if opts.quick {
+        &[4, 16]
+    } else {
+        &[2, 4, 8, 16, 32]
+    };
     let mut t = Table::new(vec![
         "outstanding",
         "mesh cycles",
@@ -298,7 +302,10 @@ fn design_point_32x8_ablation(opts: Opts, csv: &mut Csv) {
         vec![
             (Benchmark::Sgemm, DatasetId::Default),
             (Benchmark::Fft, DatasetId::Fft16K),
-            (Benchmark::PageRank, DatasetId::Graph(ruche_manycore::prelude::GraphId::Pk)),
+            (
+                Benchmark::PageRank,
+                DatasetId::Graph(ruche_manycore::prelude::GraphId::Pk),
+            ),
         ]
     };
     let mut t = Table::new(vec!["workload", "array", "cycles", "cycles x tiles (norm)"]);

@@ -39,12 +39,7 @@ pub fn run(opts: Opts) {
                 let s = base.cycles as f64 / e.cycles as f64;
                 per_cfg[i].push(s);
                 row.push(fmt_f(s, 2));
-                csv.row([
-                    format!("{dims}"),
-                    row[0].clone(),
-                    cfg.label(),
-                    fmt_f(s, 3),
-                ]);
+                csv.row([format!("{dims}"), row[0].clone(), cfg.label(), fmt_f(s, 3)]);
             }
             t.row(row);
         }

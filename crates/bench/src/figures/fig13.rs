@@ -25,7 +25,13 @@ pub fn run(opts: Opts) {
     let configs = half_ruche_configs(dims);
     let mut csv = Csv::new();
     csv.row([
-        "workload", "config", "core", "stall", "router", "wire", "total_vs_mesh",
+        "workload",
+        "config",
+        "core",
+        "stall",
+        "router",
+        "wire",
+        "total_vs_mesh",
     ]);
     let mut header = vec!["workload".to_string()];
     header.extend(configs.iter().map(|c| c.label()));

@@ -70,7 +70,14 @@ pub fn run(opts: Opts) {
     let mut next = results.iter();
 
     let mut csv = Csv::new();
-    csv.row(["size", "pattern", "config", "offered", "accepted", "avg_latency"]);
+    csv.row([
+        "size",
+        "pattern",
+        "config",
+        "offered",
+        "accepted",
+        "avg_latency",
+    ]);
     for &dims in &sizes {
         for pattern in patterns() {
             let mut t = Table::new(vec!["config", "zero-load lat", "saturation thpt"]);

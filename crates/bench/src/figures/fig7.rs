@@ -27,18 +27,19 @@ pub fn run(opts: Opts) {
     let step = if opts.quick { 8.0 } else { 2.0 };
     let mut csv = Csv::new();
     csv.row(["router", "target_fo4", "area_um2"]);
-    let mut t = Table::new(vec!["router", "min cycle (FO4)", "area @98 FO4", "area @min+2"]);
+    let mut t = Table::new(vec![
+        "router",
+        "min cycle (FO4)",
+        "area @98 FO4",
+        "area @min+2",
+    ]);
     for cfg in configs(Dims::new(8, 8)) {
         let p = RouterParams::of(&cfg);
         let t_min = min_cycle_time_fo4(&p, &tech);
         let sweep = area_sweep(&p, &tech, 98.0, step);
         for pt in &sweep {
             if let Some(a) = pt.area_um2 {
-                csv.row([
-                    cfg.label(),
-                    fmt_f(pt.target_fo4, 1),
-                    fmt_f(a, 0),
-                ]);
+                csv.row([cfg.label(), fmt_f(pt.target_fo4, 1), fmt_f(a, 0)]);
             }
         }
         let relaxed = sweep.first().and_then(|p| p.area_um2).unwrap_or(0.0);

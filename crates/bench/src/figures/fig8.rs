@@ -9,7 +9,8 @@ use ruche_noc::prelude::*;
 use ruche_stats::{fmt_f, Accum, Csv, Table};
 use ruche_traffic::{Pattern, Testbench};
 
-fn configs(dims: Dims) -> Vec<NetworkConfig> {
+/// The Figure 8 network set for one array size.
+pub fn configs(dims: Dims) -> Vec<NetworkConfig> {
     use CrossbarScheme::FullyPopulated;
     vec![
         NetworkConfig::mesh(dims),

@@ -33,7 +33,14 @@ pub fn run(_opts: Opts) {
     );
     let tech = Tech::n12();
     let mut t = Table::new(vec![
-        "router", "crossbar", "decode", "fifo/vc", "arb/alloc", "TOTAL", "paper", "err%",
+        "router",
+        "crossbar",
+        "decode",
+        "fifo/vc",
+        "arb/alloc",
+        "TOTAL",
+        "paper",
+        "err%",
     ]);
     for (cfg, (_, paper)) in configs(Dims::new(8, 8)).iter().zip(PAPER) {
         let a = router_area(&RouterParams::of(cfg), &tech);

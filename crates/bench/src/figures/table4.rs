@@ -14,7 +14,12 @@ pub fn run(_opts: Opts) {
         "bisection BW vs memory-tile BW (channels; * = bisection >= memory)",
     );
     let mut t = Table::new(vec![
-        "size", "aspect", "noc", "bisection", "memoryBW", "compute:mem",
+        "size",
+        "aspect",
+        "noc",
+        "bisection",
+        "memoryBW",
+        "compute:mem",
     ]);
     for (cols, rows, aspect, ratio) in [
         (16u16, 8u16, "2:1", "4:1"),

@@ -39,8 +39,7 @@ pub fn run(opts: Opts) {
         let mesh_small = suite.get_or_run(small, &half_ruche_configs(small)[0], bench, ds);
         let mesh_large = suite.get_or_run(large, &configs_large[0], bench, ds);
         for (i, cfg_l) in configs_large.iter().enumerate() {
-            let e_small =
-                suite.get_or_run(small, &half_ruche_configs(small)[i], bench, ds);
+            let e_small = suite.get_or_run(small, &half_ruche_configs(small)[i], bench, ds);
             let e_large = suite.get_or_run(large, cfg_l, bench, ds);
             speed_small[i].push(mesh_small.cycles as f64 / e_small.cycles as f64);
             speed_large[i].push(mesh_large.cycles as f64 / e_large.cycles as f64);
@@ -50,9 +49,7 @@ pub fn run(opts: Opts) {
                 scal_wide[i].push(mesh_small.cycles as f64 / e_wide.cycles as f64);
             }
             lat_intr[i].push(mesh_large.lat_intrinsic / e_large.lat_intrinsic.max(1e-9));
-            lat_cong[i].push(
-                (mesh_large.lat_congestion + 1.0) / (e_large.lat_congestion + 1.0),
-            );
+            lat_cong[i].push((mesh_large.lat_congestion + 1.0) / (e_large.lat_congestion + 1.0));
             lat_total[i].push(mesh_large.lat_total / e_large.lat_total.max(1e-9));
             eff_compute[i].push(mesh_large.compute_pj() / e_large.compute_pj());
             eff_noc[i].push(mesh_large.noc_pj() / e_large.noc_pj());

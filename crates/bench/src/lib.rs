@@ -29,6 +29,7 @@
 pub mod figures;
 pub mod opts;
 pub mod out;
+pub mod preflight;
 pub mod suite;
 pub mod sweep;
 

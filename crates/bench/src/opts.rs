@@ -11,6 +11,9 @@ pub struct Opts {
     pub threads: usize,
     /// Skip the on-disk sweep cache (`--no-cache` or `RUCHE_NO_CACHE=1`).
     pub no_cache: bool,
+    /// Run the static pre-flight verification and exit without sweeping
+    /// (`--verify-only` or `RUCHE_VERIFY_ONLY=1`).
+    pub verify_only: bool,
 }
 
 /// The machine's available parallelism (1 if it can't be queried).
@@ -50,6 +53,7 @@ impl Opts {
             quick: flag("--quick", "RUCHE_QUICK"),
             threads,
             no_cache: flag("--no-cache", "RUCHE_NO_CACHE"),
+            verify_only: flag("--verify-only", "RUCHE_VERIFY_ONLY"),
         }
     }
 
@@ -59,6 +63,7 @@ impl Opts {
             quick: false,
             threads: default_threads(),
             no_cache: false,
+            verify_only: false,
         }
     }
 
@@ -117,7 +122,10 @@ mod tests {
         let env = |k: &str| (k == "RUCHE_THREADS").then(|| "3".to_string());
         assert_eq!(Opts::parse(&strs(&["bench"]), env).threads, 3);
         // An explicit flag beats the environment.
-        assert_eq!(Opts::parse(&strs(&["bench", "--threads=2"]), env).threads, 2);
+        assert_eq!(
+            Opts::parse(&strs(&["bench", "--threads=2"]), env).threads,
+            2
+        );
     }
 
     #[test]
@@ -134,5 +142,14 @@ mod tests {
         let env = |k: &str| (k == "RUCHE_NO_CACHE").then(|| "1".to_string());
         assert!(Opts::parse(&strs(&["bench"]), env).no_cache);
         assert!(!Opts::parse(&strs(&["bench"]), NO_ENV).no_cache);
+    }
+
+    #[test]
+    fn parses_verify_only() {
+        assert!(Opts::parse(&strs(&["bench", "--verify-only"]), NO_ENV).verify_only);
+        let env = |k: &str| (k == "RUCHE_VERIFY_ONLY").then(|| "1".to_string());
+        assert!(Opts::parse(&strs(&["bench"]), env).verify_only);
+        assert!(!Opts::parse(&strs(&["bench"]), NO_ENV).verify_only);
+        assert!(!Opts::full().verify_only);
     }
 }

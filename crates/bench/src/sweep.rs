@@ -387,7 +387,9 @@ mod tests {
         let hit = cache.get(&job.key()).expect("cache hit");
         assert_eq!(hit.avg_latency, res.avg_latency);
         assert_eq!(hit.delivered, res.delivered);
-        assert!(cache.get(&SweepJob::new(NetworkConfig::torus(dims), quick_tb(0.05)).key()).is_none());
+        assert!(cache
+            .get(&SweepJob::new(NetworkConfig::torus(dims), quick_tb(0.05)).key())
+            .is_none());
     }
 
     #[test]

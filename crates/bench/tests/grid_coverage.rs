@@ -1,0 +1,70 @@
+//! Cross-checks that every configuration the figure harnesses sweep is
+//! covered by `ruche_verify::grid::paper_grid` — i.e. that the CI
+//! `verify` job and the repro pre-flight really gate everything that
+//! gets simulated. The grid is written out independently in the verify
+//! crate (which cannot depend on this one), so this test is what keeps
+//! the two lists in lock-step.
+
+use ruche_bench::figures::{fig6, fig8, fig9};
+use ruche_bench::suite;
+use ruche_noc::prelude::*;
+use ruche_verify::grid;
+use std::collections::HashSet;
+
+fn grid_keys() -> HashSet<String> {
+    grid::paper_grid()
+        .iter()
+        .map(|cfg| format!("{cfg:?}"))
+        .collect()
+}
+
+#[track_caller]
+fn assert_covered(grid: &HashSet<String>, cfg: &NetworkConfig) {
+    assert!(
+        grid.contains(&format!("{cfg:?}")),
+        "{} {} (dor {:?}, edge {}) missing from the verified paper grid",
+        cfg.label(),
+        cfg.dims,
+        cfg.dor,
+        cfg.edge_memory_ports,
+    );
+}
+
+#[test]
+fn full_network_figures_are_verified() {
+    let grid = grid_keys();
+    for dims in [Dims::new(8, 8), Dims::new(16, 16)] {
+        for cfg in fig6::configs(dims) {
+            assert_covered(&grid, &cfg);
+        }
+    }
+    for cfg in fig8::configs(Dims::new(16, 16)) {
+        assert_covered(&grid, &cfg);
+    }
+}
+
+#[test]
+fn half_network_figures_are_verified() {
+    let grid = grid_keys();
+    for dims in [Dims::new(16, 8), Dims::new(32, 16), Dims::new(64, 8)] {
+        for mut cfg in fig9::configs(dims) {
+            // Figure 9 sweeps run with memory endpoints attached.
+            cfg.edge_memory_ports = true;
+            assert_covered(&grid, &cfg);
+        }
+    }
+}
+
+#[test]
+fn manycore_networks_are_verified() {
+    let grid = grid_keys();
+    // The manycore suite builds a request (X-Y, to-edge) and response
+    // (Y-X, from-edge) network from each base fabric (§4).
+    for dims in [Dims::new(16, 8), Dims::new(32, 16)] {
+        for base in suite::half_ruche_configs(dims) {
+            for cfg in grid::manycore_net_pair(&base) {
+                assert_covered(&grid, &cfg);
+            }
+        }
+    }
+}

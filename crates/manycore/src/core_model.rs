@@ -261,7 +261,13 @@ mod tests {
     fn loads_overlap_up_to_limit() {
         // 4 loads with latency 10 and 4 outstanding slots: issue
         // back-to-back, total ≈ 4 + 10, not 4 × 10.
-        let ops = vec![Op::Load(0), Op::Load(1), Op::Load(2), Op::Load(3), Op::WaitAll];
+        let ops = vec![
+            Op::Load(0),
+            Op::Load(1),
+            Op::Load(2),
+            Op::Load(3),
+            Op::WaitAll,
+        ];
         let (cycles, stats) = run_alone(ops, 4, 10);
         assert!(cycles < 20, "overlapped: {cycles}");
         assert_eq!(stats.mem_ops, 4);
@@ -288,7 +294,10 @@ mod tests {
     fn nic_backpressure_stalls() {
         let mut core = Core::new(vec![Op::Load(0)], 4);
         assert_eq!(core.tick(false), CoreAction::Stall);
-        assert!(matches!(core.tick(true), CoreAction::Issue(MemRequest::Load(0))));
+        assert!(matches!(
+            core.tick(true),
+            CoreAction::Issue(MemRequest::Load(0))
+        ));
     }
 
     #[test]
@@ -321,9 +330,18 @@ mod tests {
 
     #[test]
     fn store_and_amo_issue() {
-        let mut core = Core::new(vec![Op::Store(1), Op::Amo(2), Op::LoadTile(Coord::new(1, 1))], 8);
-        assert!(matches!(core.tick(true), CoreAction::Issue(MemRequest::Store(1))));
-        assert!(matches!(core.tick(true), CoreAction::Issue(MemRequest::Amo(2))));
+        let mut core = Core::new(
+            vec![Op::Store(1), Op::Amo(2), Op::LoadTile(Coord::new(1, 1))],
+            8,
+        );
+        assert!(matches!(
+            core.tick(true),
+            CoreAction::Issue(MemRequest::Store(1))
+        ));
+        assert!(matches!(
+            core.tick(true),
+            CoreAction::Issue(MemRequest::Amo(2))
+        ));
         assert!(matches!(
             core.tick(true),
             CoreAction::Issue(MemRequest::LoadTile(_))

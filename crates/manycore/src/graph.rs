@@ -309,7 +309,11 @@ mod tests {
         assert_eq!(g.edges(), 80_000);
         // Heavy-tailed: max degree far above the mean.
         let mean = g.edges() as f64 / g.vertices() as f64;
-        assert!(g.max_degree() as f64 > 10.0 * mean, "max {}", g.max_degree());
+        assert!(
+            g.max_degree() as f64 > 10.0 * mean,
+            "max {}",
+            g.max_degree()
+        );
         // And BFS from a hub reaches most of the graph in few levels.
         let hub = (0..4096u32).max_by_key(|&v| g.degree(v)).unwrap();
         let levels = g.bfs_levels(hub);

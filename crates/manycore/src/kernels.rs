@@ -86,9 +86,15 @@ impl Benchmark {
             Benchmark::BarnesHut => {
                 vec![DatasetId::Bh16K, DatasetId::Bh32K, DatasetId::Bh64K]
             }
-            Benchmark::Bfs => [GraphId::Os, GraphId::Ca, GraphId::Lj, GraphId::Hw, GraphId::Pk]
-                .map(DatasetId::Graph)
-                .to_vec(),
+            Benchmark::Bfs => [
+                GraphId::Os,
+                GraphId::Ca,
+                GraphId::Lj,
+                GraphId::Hw,
+                GraphId::Pk,
+            ]
+            .map(DatasetId::Graph)
+            .to_vec(),
             Benchmark::PageRank => [GraphId::Os, GraphId::Lj, GraphId::Hw, GraphId::Pk]
                 .map(DatasetId::Graph)
                 .to_vec(),
@@ -218,7 +224,9 @@ fn jacobi(dims: Dims) -> Vec<Vec<Op>> {
             // The full grid does not fit in scratchpads (512×512×64 in the
             // paper): stream this iteration's block slab in from the LLC.
             for w in 0..cells / 2 {
-                p.push(Op::Load(base::FFT_DATA + t * cells + (it as u64 % 2) * cells / 2 + w));
+                p.push(Op::Load(
+                    base::FFT_DATA + t * cells + (it as u64 % 2) * cells / 2 + w,
+                ));
                 if w % 4 == 3 {
                     p.push(Op::Compute(1));
                 }

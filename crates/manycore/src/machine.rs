@@ -254,7 +254,11 @@ pub fn run(sys: &SystemConfig, workload: &Workload) -> Result<RunResult, Machine
     let mut cycle = 0u64;
 
     // Zero-load latency of a request/response round trip, memoized.
-    let intrinsic_of = |requester: Coord, origin_bank: Option<u32>, origin_tile: Option<Coord>, cache: &mut HashMap<u64, u32>| -> u32 {
+    let intrinsic_of = |requester: Coord,
+                        origin_bank: Option<u32>,
+                        origin_tile: Option<Coord>,
+                        cache: &mut HashMap<u64, u32>|
+     -> u32 {
         let key = (dims.index(requester) as u64) << 32
             | match (origin_bank, origin_tile) {
                 (Some(b), None) => 1u64 << 31 | b as u64,
@@ -292,8 +296,11 @@ pub fn run(sys: &SystemConfig, workload: &Workload) -> Result<RunResult, Machine
         v
     };
 
-    let all_done = |cores: &[Core], req: &Network, resp: &Network,
-                    bank_q: &[VecDeque<Pending>], server_q: &[VecDeque<Pending>]| {
+    let all_done = |cores: &[Core],
+                    req: &Network,
+                    resp: &Network,
+                    bank_q: &[VecDeque<Pending>],
+                    server_q: &[VecDeque<Pending>]| {
         cores.iter().all(|c| c.state() == CoreState::Done)
             && req.in_flight() == 0
             && req.queued() == 0
@@ -323,7 +330,9 @@ pub fn run(sys: &SystemConfig, workload: &Workload) -> Result<RunResult, Machine
                 };
                 let requester = dims.coord(p.requester as usize);
                 let flit = Flit::single(dest_bank.coord, Dest::tile(requester), next_id, p.birth)
-                    .with_payload(encode_payload(p.kind, p.requester) | (1 << 32) | ((bank as u64) << 33));
+                    .with_payload(
+                        encode_payload(p.kind, p.requester) | (1 << 32) | ((bank as u64) << 33),
+                    );
                 next_id += 1;
                 resp.enqueue(ep, flit);
             }
@@ -488,7 +497,12 @@ mod tests {
 
     #[test]
     fn payload_codec_roundtrip() {
-        for kind in [ReqKind::Load, ReqKind::Store, ReqKind::Amo, ReqKind::LoadTile] {
+        for kind in [
+            ReqKind::Load,
+            ReqKind::Store,
+            ReqKind::Amo,
+            ReqKind::LoadTile,
+        ] {
             let p = encode_payload(kind, 12345);
             let (k, r) = decode_payload(p);
             assert_eq!(k, kind);
@@ -608,16 +622,10 @@ mod tests {
         // Everyone streams to the LLC: horizontal bisection congests and
         // measured congestion latency becomes non-trivial.
         let dims = Dims::new(8, 4);
-        let programs = vec![
-            (0..200u64).map(Op::Load).chain([Op::WaitAll]).collect();
-            dims.count()
-        ];
+        let programs = vec![(0..200u64).map(Op::Load).chain([Op::WaitAll]).collect(); dims.count()];
         let res = run(&SystemConfig::new(tiny_net()), &manual(programs)).unwrap();
         assert!(res.load_latency.congestion.mean() > 1.0);
-        assert!(
-            res.load_latency.total.mean()
-                > res.load_latency.intrinsic.mean()
-        );
+        assert!(res.load_latency.total.mean() > res.load_latency.intrinsic.mean());
     }
 
     #[test]

@@ -131,10 +131,7 @@ mod tests {
         for addr in 0..32_000u64 {
             counts[h.bank(addr) as usize] += 1;
         }
-        let (min, max) = (
-            *counts.iter().min().unwrap(),
-            *counts.iter().max().unwrap(),
-        );
+        let (min, max) = (*counts.iter().min().unwrap(), *counts.iter().max().unwrap());
         assert!(min > 0);
         assert!(
             (max - min) as f64 / (32_000.0 / 32.0) < 0.1,

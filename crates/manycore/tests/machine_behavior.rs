@@ -25,7 +25,10 @@ fn llc_bank_serializes_at_one_request_per_cycle() {
     let dims = Dims::new(8, 4);
     let per_tile = 20u64;
     let programs = vec![
-        (0..per_tile).map(|_| Op::Load(0x42)).chain([Op::WaitAll]).collect();
+        (0..per_tile)
+            .map(|_| Op::Load(0x42))
+            .chain([Op::WaitAll])
+            .collect();
         dims.count()
     ];
     let res = run(&mesh_sys(dims), &manual(dims, programs)).unwrap();
@@ -44,7 +47,10 @@ fn ipoly_spreading_beats_single_bank_hammering() {
     let dims = Dims::new(8, 4);
     let per_tile = 20u64;
     let hot = vec![
-        (0..per_tile).map(|_| Op::Load(7)).chain([Op::WaitAll]).collect();
+        (0..per_tile)
+            .map(|_| Op::Load(7))
+            .chain([Op::WaitAll])
+            .collect();
         dims.count()
     ];
     let spread: Vec<Vec<Op>> = (0..dims.count() as u64)
@@ -177,7 +183,10 @@ fn llc_latency_hurts_latency_bound_workloads_most() {
         dims.count()
     ];
     let streamed: Vec<Vec<Op>> = vec![
-        (0..40u64).map(|i| Op::Load(i * 31)).chain([Op::WaitAll]).collect();
+        (0..40u64)
+            .map(|i| Op::Load(i * 31))
+            .chain([Op::WaitAll])
+            .collect();
         dims.count()
     ];
     let lat = |llc: u32, programs: &Vec<Vec<Op>>| {
@@ -187,7 +196,10 @@ fn llc_latency_hurts_latency_bound_workloads_most() {
     };
     let chased_ratio = lat(20, &chased) / lat(2, &chased);
     let streamed_ratio = lat(20, &streamed) / lat(2, &streamed);
-    assert!(chased_ratio > 1.3, "pointer chasing feels the LLC: {chased_ratio}");
+    assert!(
+        chased_ratio > 1.3,
+        "pointer chasing feels the LLC: {chased_ratio}"
+    );
     assert!(
         chased_ratio > streamed_ratio,
         "streaming hides latency: {streamed_ratio} vs {chased_ratio}"
@@ -224,12 +236,7 @@ fn workloads_have_meaningful_sizes() {
             .programs
             .iter()
             .flatten()
-            .filter(|o| {
-                matches!(
-                    o,
-                    Op::Load(_) | Op::Store(_) | Op::Amo(_) | Op::LoadTile(_)
-                )
-            })
+            .filter(|o| matches!(o, Op::Load(_) | Op::Store(_) | Op::Amo(_) | Op::LoadTile(_)))
             .count();
         assert!(mem_ops > 1_000, "{}: only {mem_ops} memory ops", w.name);
     }

@@ -107,7 +107,10 @@ impl Wavefront {
     ///
     /// Panics if either dimension is zero.
     pub fn new(n_in: usize, n_out: usize) -> Self {
-        assert!(n_in > 0 && n_out > 0, "allocator dimensions must be non-zero");
+        assert!(
+            n_in > 0 && n_out > 0,
+            "allocator dimensions must be non-zero"
+        );
         Wavefront {
             n_in,
             n_out,
@@ -235,8 +238,7 @@ mod tests {
     fn wavefront_matching_is_maximal_on_diagonal() {
         let mut wf = Wavefront::new(4, 4);
         // Identity requests: all four must be granted.
-        let requests: Vec<Vec<bool>> =
-            (0..4).map(|i| (0..4).map(|o| o == i).collect()).collect();
+        let requests: Vec<Vec<bool>> = (0..4).map(|i| (0..4).map(|o| o == i).collect()).collect();
         let grants = wf.allocate(&requests);
         assert!(grants.iter().all(|g| g.is_some()));
     }
@@ -300,7 +302,9 @@ mod tests {
         let mut grants = vec![None; 5];
         // A deterministic mix of request matrices, cycled to rotate priority.
         for round in 0u32..40 {
-            let masks: Vec<u32> = (0..5).map(|i| (round.wrapping_mul(31) >> i) & 0x1F).collect();
+            let masks: Vec<u32> = (0..5)
+                .map(|i| (round.wrapping_mul(31) >> i) & 0x1F)
+                .collect();
             let bools: Vec<Vec<bool>> = masks
                 .iter()
                 .map(|&m| (0..5).map(|o| m & (1 << o) != 0).collect())

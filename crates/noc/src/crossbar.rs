@@ -52,9 +52,7 @@ impl Connectivity {
             return hit.clone();
         }
         let result = Self::derive(&probe);
-        memo.lock()
-            .expect("memo lock")
-            .insert(key, result.clone());
+        memo.lock().expect("memo lock").insert(key, result.clone());
         result
     }
 
@@ -74,7 +72,7 @@ impl Connectivity {
 
         for s in probe.dims.iter() {
             for d in probe.dims.iter() {
-                let path = walk_route_from(&probe, s, Dir::P, Dest::tile(d));
+                let path = walk_route_from(probe, s, Dir::P, Dest::tile(d));
                 record(&path, Dir::P);
             }
         }
@@ -85,10 +83,10 @@ impl Connectivity {
             // implements the transitions its network's direction uses.
             for col in 0..probe.dims.cols {
                 for (edge, entry) in [(EdgePort::North, Dir::N), (EdgePort::South, Dir::S)] {
-                    let to_edge = probe.edge_bidirectional
-                        || probe.dor == crate::topology::DorOrder::XY;
-                    let from_edge = probe.edge_bidirectional
-                        || probe.dor == crate::topology::DorOrder::YX;
+                    let to_edge =
+                        probe.edge_bidirectional || probe.dor == crate::topology::DorOrder::XY;
+                    let from_edge =
+                        probe.edge_bidirectional || probe.dor == crate::topology::DorOrder::YX;
                     if to_edge {
                         for s in probe.dims.iter() {
                             let dest = match edge {
@@ -168,7 +166,10 @@ fn probe_config(cfg: &NetworkConfig) -> NetworkConfig {
     let mut probe = cfg.clone();
     if let TopologyKind::Ruche { rf, axes } = probe.topology {
         if rf >= 2 {
-            probe.topology = TopologyKind::Ruche { rf: rf.max(3), axes };
+            probe.topology = TopologyKind::Ruche {
+                rf: rf.max(3),
+                axes,
+            };
         }
     }
     let rf = probe.topology.ruche_factor().max(1);

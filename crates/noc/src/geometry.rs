@@ -117,7 +117,10 @@ impl Dims {
     /// Inverse of [`Dims::index`].
     pub fn coord(self, idx: usize) -> Coord {
         debug_assert!(idx < self.count());
-        Coord::new((idx % self.cols as usize) as u16, (idx / self.cols as usize) as u16)
+        Coord::new(
+            (idx % self.cols as usize) as u16,
+            (idx / self.cols as usize) as u16,
+        )
     }
 
     /// Iterates over all coordinates in row-major order.
@@ -334,10 +337,7 @@ mod tests {
     #[test]
     fn offset_respects_bounds() {
         let dims = Dims::new(4, 4);
-        assert_eq!(
-            Coord::new(0, 0).offset(1, 1, dims),
-            Some(Coord::new(1, 1))
-        );
+        assert_eq!(Coord::new(0, 0).offset(1, 1, dims), Some(Coord::new(1, 1)));
         assert_eq!(Coord::new(0, 0).offset(-1, 0, dims), None);
         assert_eq!(Coord::new(3, 3).offset(1, 0, dims), None);
         assert_eq!(Coord::new(3, 3).offset(0, 1, dims), None);

@@ -59,7 +59,8 @@ pub mod prelude {
     pub use crate::geometry::{Axes, Axis, Coord, Dims, Dir};
     pub use crate::packet::{Flit, FlitKind};
     pub use crate::routing::{
-        compute_route, mean_route_hops, route_hops, walk_route, Dest, EdgePort,
+        compute_route, mean_route_hops, route_hops, try_walk_route, walk_route, Dest, EdgePort,
+        RouteDecision, RouteError,
     };
     pub use crate::sim::{EndpointId, EndpointKind, NetStats, Network};
     pub use crate::topology::{

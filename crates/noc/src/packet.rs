@@ -116,7 +116,12 @@ mod tests {
         let kinds: Vec<_> = flits.iter().map(|f| f.kind).collect();
         assert_eq!(
             kinds,
-            vec![FlitKind::Head, FlitKind::Body, FlitKind::Body, FlitKind::Tail]
+            vec![
+                FlitKind::Head,
+                FlitKind::Body,
+                FlitKind::Body,
+                FlitKind::Tail
+            ]
         );
         let one = Flit::multi(Coord::new(0, 0), Dest::tile(Coord::new(1, 1)), 1, 0, 1);
         assert_eq!(one[0].kind, FlitKind::HeadTail);

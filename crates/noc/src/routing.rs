@@ -275,7 +275,11 @@ fn torus_route(
                 // it; the crossing channel and everything after use VC 1.
                 let crossing = if take_fwd { lh == k - 1 } else { lh == 0 };
                 let same_ring = axis_class(in_dir, axis) != AxisClass::Other;
-                let out_vc = if (same_ring && in_vc == 1) || crossing { 1 } else { 0 };
+                let out_vc = if (same_ring && in_vc == 1) || crossing {
+                    1
+                } else {
+                    0
+                };
                 return RouteDecision { out, out_vc };
             }
         } else {
@@ -376,13 +380,47 @@ fn ruche_one_route(cfg: &NetworkConfig, here: Coord, in_dir: Dir, dest: Dest) ->
 /// One step of a routed path: the router traversed and the output taken.
 pub type PathStep = (Coord, Dir);
 
+/// Why a route walk failed (see [`try_walk_route_from`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// The routing function emitted an output with no link behind it.
+    LeftArray {
+        /// Router at which the route fell off.
+        at: Coord,
+        /// The unconnected output it requested.
+        out: Dir,
+    },
+    /// The route did not reach its destination within the hop bound.
+    HopLimit {
+        /// The bound that was exceeded ([`NetworkConfig::max_route_hops`]).
+        limit: usize,
+    },
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::LeftArray { at, out } => {
+                write!(f, "route left the array at {at} via {out}")
+            }
+            RouteError::HopLimit { limit } => {
+                write!(f, "route did not terminate within {limit} hops")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
 /// Walks the full route of a packet from `src` to `dest`, returning every
 /// (router, output port) traversal including the final ejection.
 ///
 /// # Panics
 ///
-/// Panics if the route does not terminate within `4 × (cols + rows)` hops —
-/// which would be a routing bug (the test suite property-checks this).
+/// Panics if the route does not terminate within
+/// [`NetworkConfig::max_route_hops`] hops — which would be a routing bug
+/// (the test suite property-checks this). Use [`try_walk_route`] for the
+/// non-panicking variant the static verifier builds on.
 pub fn walk_route(cfg: &NetworkConfig, src: Coord, dest: Dest) -> Vec<PathStep> {
     walk_route_from(cfg, src, Dir::P, dest)
 }
@@ -394,12 +432,46 @@ pub fn walk_route(cfg: &NetworkConfig, src: Coord, dest: Dest) -> Vec<PathStep> 
 /// # Panics
 ///
 /// Panics if the route does not terminate (see [`walk_route`]).
-pub fn walk_route_from(cfg: &NetworkConfig, src: Coord, entry_dir: Dir, dest: Dest) -> Vec<PathStep> {
+pub fn walk_route_from(
+    cfg: &NetworkConfig,
+    src: Coord,
+    entry_dir: Dir,
+    dest: Dest,
+) -> Vec<PathStep> {
+    match try_walk_route_from(cfg, src, entry_dir, dest) {
+        Ok(path) => path,
+        Err(e) => panic!("route from {src} to {dest}: {e}"),
+    }
+}
+
+/// Non-panicking [`walk_route`]: returns the path, or the reason the route
+/// is broken. This is the walker the `ruche-verify` static checker drives.
+pub fn try_walk_route(
+    cfg: &NetworkConfig,
+    src: Coord,
+    dest: Dest,
+) -> Result<Vec<PathStep>, RouteError> {
+    try_walk_route_from(cfg, src, Dir::P, dest)
+}
+
+/// Non-panicking [`walk_route_from`].
+///
+/// # Errors
+///
+/// Returns [`RouteError::LeftArray`] if the routing function emits an
+/// output with no link behind it, or [`RouteError::HopLimit`] if the walk
+/// exceeds [`NetworkConfig::max_route_hops`] without ejecting.
+pub fn try_walk_route_from(
+    cfg: &NetworkConfig,
+    src: Coord,
+    entry_dir: Dir,
+    dest: Dest,
+) -> Result<Vec<PathStep>, RouteError> {
     let mut here = src;
     let mut in_dir = entry_dir;
     let mut vc = 0u8;
     let mut path = Vec::new();
-    let limit = 4 * (cfg.dims.cols as usize + cfg.dims.rows as usize) + 8;
+    let limit = cfg.max_route_hops();
     loop {
         let dec = compute_route(cfg, here, in_dir, vc, dest);
         path.push((here, dec.out));
@@ -409,18 +481,18 @@ pub fn walk_route_from(cfg: &NetworkConfig, src: Coord, entry_dir: Dir, dest: De
                 break;
             }
         }
-        let next = cfg
-            .neighbor(here, dec.out)
-            .unwrap_or_else(|| panic!("route left the array at {here} via {}", dec.out));
+        let next = cfg.neighbor(here, dec.out).ok_or(RouteError::LeftArray {
+            at: here,
+            out: dec.out,
+        })?;
         in_dir = dec.out.opposite();
         vc = dec.out_vc;
         here = next;
-        assert!(
-            path.len() <= limit,
-            "route from {src} to {dest} did not terminate within {limit} hops"
-        );
+        if path.len() > limit {
+            return Err(RouteError::HopLimit { limit });
+        }
     }
-    path
+    Ok(path)
 }
 
 /// Number of router traversals (network hops, including the ejection
@@ -615,10 +687,16 @@ mod tests {
         let cfg = NetworkConfig::ruche_one(Dims::new(8, 8));
         // Even total distance: entire path on ruche plane.
         let path = dirs(&cfg, (1, 1), (3, 3));
-        assert!(path[..path.len() - 1].iter().all(|d| d.is_ruche()), "{path:?}");
+        assert!(
+            path[..path.len() - 1].iter().all(|d| d.is_ruche()),
+            "{path:?}"
+        );
         // Odd total distance: entire path on local plane.
         let path = dirs(&cfg, (1, 1), (3, 4));
-        assert!(path[..path.len() - 1].iter().all(|d| !d.is_ruche()), "{path:?}");
+        assert!(
+            path[..path.len() - 1].iter().all(|d| !d.is_ruche()),
+            "{path:?}"
+        );
         // Hop count equals mesh hop count either way.
         assert_eq!(hops(&cfg, (0, 0), (5, 5)), 11);
     }

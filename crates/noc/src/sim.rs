@@ -20,6 +20,30 @@ use crate::router::Router;
 use crate::routing::{compute_route, Dest};
 use crate::topology::{ConfigError, NetworkConfig};
 use std::collections::VecDeque;
+use std::sync::OnceLock;
+
+/// A static-verification pass over a [`NetworkConfig`], returning a rendered
+/// findings report on failure (see `ruche-verify`, which provides one).
+pub type ConfigVerifier = fn(&NetworkConfig) -> Result<(), String>;
+
+static DEBUG_VERIFIER: OnceLock<ConfigVerifier> = OnceLock::new();
+
+/// Registers a verifier that [`Network::new`] runs on every configuration
+/// in debug builds (`debug_assertions`), so each test and debug run is
+/// statically checked for free. The first registration wins; returns
+/// whether this call installed `f`.
+///
+/// The `noc` crate cannot depend on its own verifier (the checker lives in
+/// `ruche-verify`, downstream of this crate), so the hook is injected:
+/// call `ruche_verify::install_debug_hook()` once at harness start.
+pub fn register_debug_verifier(f: ConfigVerifier) -> bool {
+    DEBUG_VERIFIER.set(f).is_ok()
+}
+
+/// The registered debug-build config verifier, if any.
+pub fn debug_verifier() -> Option<ConfigVerifier> {
+    DEBUG_VERIFIER.get().copied()
+}
 
 /// Identifier of a traffic endpoint (tile processor port, or an edge
 /// memory endpoint).
@@ -159,6 +183,15 @@ impl Network {
     /// configuration is inconsistent.
     pub fn new(cfg: NetworkConfig) -> Result<Self, ConfigError> {
         cfg.validate()?;
+        #[cfg(debug_assertions)]
+        if let Some(verifier) = debug_verifier() {
+            if let Err(report) = verifier(&cfg) {
+                panic!(
+                    "static network verification failed for {}:\n{report}",
+                    cfg.label()
+                );
+            }
+        }
         let ports = cfg.ports();
         let np = ports.len();
         let dims = cfg.dims;
@@ -381,8 +414,7 @@ impl Network {
             .front()
             .is_some_and(|&(arrive, ..)| arrive <= self.cycle)
         {
-            let (_, node, port, vc, flit) =
-                self.in_transit.pop_front().expect("checked front");
+            let (_, node, port, vc, flit) = self.in_transit.pop_front().expect("checked front");
             let np = self.ports.len();
             self.pending_arrivals[(node * np + port) * self.max_vcs + vc] -= 1;
             self.routers[node].inputs[port].vcs[vc]
@@ -448,9 +480,12 @@ impl Network {
         let injected_any = !planned.is_empty();
         for &e in &planned {
             let (node, ip) = self.entries[e as usize];
-            let flit = self.sources[e as usize].pop_front().expect("planned non-empty");
+            let flit = self.sources[e as usize]
+                .pop_front()
+                .expect("planned non-empty");
             self.routers[node].inputs[ip].vcs[0]
-                .try_push(flit).expect("space checked at cycle start");
+                .try_push(flit)
+                .expect("space checked at cycle start");
             self.occupancy[node] += 1;
             self.mark_active(node);
             self.stats.injected += 1;
@@ -516,7 +551,8 @@ impl Network {
             );
             (self.port_index(dec.out), dec.out_vc)
         } else {
-            let (op, ovc) = self.routers[node].inputs[ip].assigned[vc].expect("body flit has a path");
+            let (op, ovc) =
+                self.routers[node].inputs[ip].assigned[vc].expect("body flit has a path");
             (op, ovc)
         };
         self.route_cache[slot] = Some(d);
@@ -550,8 +586,7 @@ impl Network {
                 let ready = match self.out_links[node * np + op] {
                     LinkTarget::Router { node: dn, port: dp } => {
                         let f = &self.routers[dn].inputs[dp].vcs[0];
-                        let pending =
-                            self.pending_arrivals[(dn * np + dp) * self.max_vcs] as usize;
+                        let pending = self.pending_arrivals[(dn * np + dp) * self.max_vcs] as usize;
                         f.len() + pending < f.capacity()
                     }
                     LinkTarget::Endpoint(_) => true,
@@ -696,8 +731,13 @@ impl Network {
                     // downstream `stages` cycles later than a single-cycle
                     // hop would make it.
                     self.pending_arrivals[(dn * np + dp) * self.max_vcs + t.out_vc] += 1;
-                    self.in_transit
-                        .push_back((self.cycle + 1 + stages as u64, dn, dp, t.out_vc, flit));
+                    self.in_transit.push_back((
+                        self.cycle + 1 + stages as u64,
+                        dn,
+                        dp,
+                        t.out_vc,
+                        flit,
+                    ));
                 }
             }
             LinkTarget::Endpoint(ep) => {
@@ -751,7 +791,11 @@ mod tests {
     #[test]
     fn ruche_delivery_is_faster_than_mesh() {
         let dims = Dims::new(16, 16);
-        let (mesh_t, _) = deliver_one(NetworkConfig::mesh(dims), Coord::new(0, 0), Coord::new(15, 15));
+        let (mesh_t, _) = deliver_one(
+            NetworkConfig::mesh(dims),
+            Coord::new(0, 0),
+            Coord::new(15, 15),
+        );
         let (ruche_t, _) = deliver_one(
             NetworkConfig::full_ruche(dims, 3, FullyPopulated),
             Coord::new(0, 0),
@@ -892,10 +936,7 @@ mod tests {
         )
         .unwrap();
         let north = resp.north_endpoint(5);
-        resp.enqueue(
-            north,
-            Flit::single(Coord::new(5, 0), Dest::tile(src), 2, 0),
-        );
+        resp.enqueue(north, Flit::single(Coord::new(5, 0), Dest::tile(src), 2, 0));
         let mut got = vec![];
         for _ in 0..50 {
             let a = req.step().to_vec();
@@ -974,7 +1015,11 @@ mod tests {
         // With one extra pipeline stage, zero-load latency becomes
         // (1 + stages) per hop.
         let dims = Dims::new(8, 1);
-        let (t0, _) = deliver_one(NetworkConfig::mesh(dims), Coord::new(0, 0), Coord::new(7, 0));
+        let (t0, _) = deliver_one(
+            NetworkConfig::mesh(dims),
+            Coord::new(0, 0),
+            Coord::new(7, 0),
+        );
         let (t1, _) = deliver_one(
             NetworkConfig::mesh(dims).with_pipeline_stages(1),
             Coord::new(0, 0),

@@ -50,7 +50,10 @@ impl TopologyKind {
             TopologyKind::MultiMesh => "multi-mesh".to_string(),
             TopologyKind::Torus { axes: Axes::Both } => "torus".to_string(),
             TopologyKind::Torus { .. } => "half-torus".to_string(),
-            TopologyKind::Ruche { rf, axes: Axes::Both } => format!("ruche{rf}"),
+            TopologyKind::Ruche {
+                rf,
+                axes: Axes::Both,
+            } => format!("ruche{rf}"),
             TopologyKind::Ruche { rf, .. } => format!("half-ruche{rf}"),
         }
     }
@@ -148,6 +151,10 @@ pub enum ConfigError {
     EdgePortsNeedOpenYAxis,
     /// Input FIFOs must hold at least one flit.
     ZeroFifoDepth,
+    /// A 1×1 array has no channels to route over; the analytics (mean
+    /// hop counts, bisection ratios) are undefined on it. Degenerate
+    /// *lines* (1×N / N×1) are supported; a single tile is not.
+    SingleTile,
 }
 
 impl fmt::Display for ConfigError {
@@ -155,7 +162,10 @@ impl fmt::Display for ConfigError {
         match self {
             ConfigError::ZeroRucheFactor => write!(f, "ruche factor must be at least 1"),
             ConfigError::RucheOneNeedsFullyPopulated => {
-                write!(f, "ruche-one (RF = 1) works only on fully-populated routers")
+                write!(
+                    f,
+                    "ruche-one (RF = 1) works only on fully-populated routers"
+                )
             }
             ConfigError::RucheFactorTooLarge { axis, extent, rf } => write!(
                 f,
@@ -169,6 +179,9 @@ impl fmt::Display for ConfigError {
                 write!(f, "north/south edge ports require a non-wraparound Y axis")
             }
             ConfigError::ZeroFifoDepth => write!(f, "input FIFO depth must be at least 1"),
+            ConfigError::SingleTile => {
+                write!(f, "a network needs at least two tiles (got a 1x1 array)")
+            }
         }
     }
 }
@@ -263,7 +276,13 @@ impl NetworkConfig {
 
     /// Full Ruche with the given Ruche Factor and crossbar scheme.
     pub fn full_ruche(dims: Dims, rf: u16, scheme: CrossbarScheme) -> Self {
-        let mut cfg = Self::new(dims, TopologyKind::Ruche { rf, axes: Axes::Both });
+        let mut cfg = Self::new(
+            dims,
+            TopologyKind::Ruche {
+                rf,
+                axes: Axes::Both,
+            },
+        );
         cfg.scheme = scheme;
         cfg
     }
@@ -323,6 +342,9 @@ impl NetworkConfig {
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.fifo_depth == 0 {
             return Err(ConfigError::ZeroFifoDepth);
+        }
+        if self.dims.count() < 2 {
+            return Err(ConfigError::SingleTile);
         }
         match self.topology {
             TopologyKind::Ruche { rf, axes } => {
@@ -526,6 +548,15 @@ impl NetworkConfig {
             }
     }
 
+    /// Hard upper bound on the hop count of any legal route — the
+    /// termination bound shared by [`crate::routing::walk_route`] and the
+    /// static verifier's totality lint. Every topology's worst route
+    /// (including depopulated Ruche detours and folded-torus rings) fits
+    /// comfortably under `4 × (cols + rows) + 8`.
+    pub fn max_route_hops(&self) -> usize {
+        4 * (self.dims.cols as usize + self.dims.rows as usize) + 8
+    }
+
     /// Network diameter in hops (maximum over all tile pairs of the routed
     /// hop count), computed from the routing relation.
     pub fn diameter_hops(&self) -> u32 {
@@ -702,8 +733,15 @@ mod tests {
                 let b = fold_physical((l + 1) % k, k);
                 spans.push(a.abs_diff(b));
             }
-            assert_eq!(spans.iter().filter(|&&s| s == 1).count(), 2, "two fold ends");
-            assert!(spans.iter().all(|&s| s <= 2), "no link spans more than 2 tiles");
+            assert_eq!(
+                spans.iter().filter(|&&s| s == 1).count(),
+                2,
+                "two fold ends"
+            );
+            assert!(
+                spans.iter().all(|&s| s <= 2),
+                "no link spans more than 2 tiles"
+            );
         }
     }
 
@@ -781,7 +819,10 @@ mod tests {
         let torus = NetworkConfig::torus(Dims::new(8, 8));
         let ruche = NetworkConfig::full_ruche(Dims::new(8, 8), 2, CrossbarScheme::FullyPopulated);
         let cap = |cfg: &NetworkConfig| -> usize {
-            cfg.ports().iter().map(|&p| cfg.vcs(p) * cfg.fifo_depth).sum()
+            cfg.ports()
+                .iter()
+                .map(|&p| cfg.vcs(p) * cfg.fifo_depth)
+                .sum()
         };
         assert_eq!(cap(&torus), cap(&ruche));
         // And half-torus matches half-ruche (the paper's §4.5 note).
@@ -810,9 +851,11 @@ mod tests {
         for (cols, rows, rf, bisect, mem) in cases {
             let cfg = match rf {
                 None => NetworkConfig::mesh(Dims::new(cols, rows)),
-                Some(rf) => {
-                    NetworkConfig::half_ruche(Dims::new(cols, rows), rf, CrossbarScheme::Depopulated)
-                }
+                Some(rf) => NetworkConfig::half_ruche(
+                    Dims::new(cols, rows),
+                    rf,
+                    CrossbarScheme::Depopulated,
+                ),
             };
             assert_eq!(
                 cfg.horizontal_bisection_channels(),
@@ -927,7 +970,10 @@ mod tests {
     #[test]
     fn pipeline_stages_builder_and_default() {
         let cfg = NetworkConfig::torus(Dims::new(8, 8));
-        assert_eq!(cfg.pipeline_stages, 0, "paper default: single cycle per hop");
+        assert_eq!(
+            cfg.pipeline_stages, 0,
+            "paper default: single cycle per hop"
+        );
         let piped = cfg.with_pipeline_stages(2);
         assert_eq!(piped.pipeline_stages, 2);
         assert!(piped.validate().is_ok());

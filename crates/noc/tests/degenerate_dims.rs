@@ -1,0 +1,128 @@
+//! Degenerate array shapes: 1×N and N×1 *lines* are supported end to
+//! end (routing, simulation, edge endpoints); the 1×1 single tile is
+//! rejected by validation with a precise error, because it has no
+//! channels and the pairwise analytics are undefined on it.
+
+use ruche_noc::prelude::*;
+use ruche_noc::topology::ConfigError;
+
+/// Every supported line-shaped configuration (Ruche/torus variants whose
+/// long axis is degenerate are rejected by the existing extent checks).
+fn line_configs() -> Vec<NetworkConfig> {
+    vec![
+        NetworkConfig::mesh(Dims::new(1, 8)),
+        NetworkConfig::mesh(Dims::new(8, 1)),
+        NetworkConfig::multi_mesh(Dims::new(1, 8)),
+        NetworkConfig::multi_mesh(Dims::new(8, 1)),
+        NetworkConfig::half_torus(Dims::new(8, 1)),
+        NetworkConfig::half_ruche(Dims::new(8, 1), 3, CrossbarScheme::Depopulated),
+        NetworkConfig::half_ruche(Dims::new(8, 1), 2, CrossbarScheme::FullyPopulated),
+        NetworkConfig::mesh(Dims::new(8, 1)).with_edge_memory_ports(),
+        NetworkConfig::mesh(Dims::new(1, 8)).with_edge_memory_ports(),
+        NetworkConfig::half_torus(Dims::new(8, 1)).with_edge_memory_ports(),
+    ]
+}
+
+#[test]
+fn single_tile_is_rejected() {
+    let dims = Dims::new(1, 1);
+    for cfg in [
+        NetworkConfig::mesh(dims),
+        NetworkConfig::multi_mesh(dims),
+        NetworkConfig::mesh(dims).with_edge_memory_ports(),
+    ] {
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::SingleTile),
+            "{}",
+            cfg.label()
+        );
+        assert!(Network::new(cfg).is_err());
+    }
+    // The error explains itself.
+    let msg = ConfigError::SingleTile.to_string();
+    assert!(msg.contains("1x1"), "{msg}");
+}
+
+#[test]
+fn degenerate_ruche_and_torus_axes_stay_rejected() {
+    // A Ruche or ring axis of extent 1 was already rejected before lines
+    // were supported; make sure the precise errors survive.
+    assert!(matches!(
+        NetworkConfig::full_ruche(Dims::new(1, 8), 2, CrossbarScheme::Depopulated).validate(),
+        Err(ConfigError::RucheFactorTooLarge {
+            axis: Axis::X,
+            extent: 1,
+            ..
+        })
+    ));
+    assert!(matches!(
+        NetworkConfig::ruche_one(Dims::new(8, 1)).validate(),
+        Err(ConfigError::RucheFactorTooLarge {
+            axis: Axis::Y,
+            extent: 1,
+            ..
+        })
+    ));
+    assert!(matches!(
+        NetworkConfig::torus(Dims::new(8, 1)).validate(),
+        Err(ConfigError::TorusRingTooShort {
+            axis: Axis::Y,
+            extent: 1
+        })
+    ));
+    assert!(matches!(
+        NetworkConfig::half_torus(Dims::new(1, 8)).validate(),
+        Err(ConfigError::TorusRingTooShort {
+            axis: Axis::X,
+            extent: 1
+        })
+    ));
+}
+
+#[test]
+fn lines_validate_and_route_all_pairs() {
+    for cfg in line_configs() {
+        cfg.validate()
+            .unwrap_or_else(|e| panic!("{} {}: {e}", cfg.label(), cfg.dims));
+        for s in cfg.dims.iter() {
+            for d in cfg.dims.iter() {
+                let path = try_walk_route(&cfg, s, Dest::tile(d))
+                    .unwrap_or_else(|e| panic!("{} {s}->{d}: {e}", cfg.label()));
+                assert_eq!(path.last().unwrap().1, Dir::P, "{} {s}->{d}", cfg.label());
+            }
+        }
+    }
+}
+
+#[test]
+fn lines_deliver_packets_end_to_end() {
+    for cfg in line_configs() {
+        let dims = cfg.dims;
+        let label = cfg.label();
+        let mut net = Network::new(cfg).unwrap_or_else(|e| panic!("{label} {dims}: {e}"));
+        let src = Coord::new(0, 0);
+        let dst = Coord::new(dims.cols - 1, dims.rows - 1);
+        net.enqueue(
+            net.tile_endpoint(src),
+            Flit::single(src, Dest::tile(dst), 0, 0),
+        );
+        while net.stats().ejected == 0 {
+            net.step();
+            assert!(net.cycle() < 200, "{label} {dims}: packet stuck");
+        }
+    }
+}
+
+#[test]
+fn single_row_edge_ports_serve_both_edges() {
+    // With one row, the north and south memory endpoints hang off the
+    // same routers; routes to both edges must still resolve.
+    let cfg = NetworkConfig::mesh(Dims::new(8, 1)).with_edge_memory_ports();
+    for col in 0..8 {
+        let north = try_walk_route(&cfg, Coord::new(0, 0), Dest::north_edge(col)).unwrap();
+        assert_eq!(north.last().unwrap(), &(Coord::new(col, 0), Dir::N));
+        let south = try_walk_route(&cfg, Coord::new(0, 0), Dest::south_edge(col, 1)).unwrap();
+        assert_eq!(south.last().unwrap(), &(Coord::new(col, 0), Dir::S));
+    }
+}

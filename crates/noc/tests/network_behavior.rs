@@ -111,7 +111,9 @@ fn wormhole_interleaving_never_splits_packets() {
     use std::collections::HashMap;
     let mut per_dest: HashMap<Coord, Vec<u64>> = HashMap::new();
     for (kind, f) in got {
-        let EndpointKind::Tile(c) = kind else { unreachable!() };
+        let EndpointKind::Tile(c) = kind else {
+            unreachable!()
+        };
         per_dest.entry(c).or_default().push(f.packet_id);
     }
     for (dest, ids) in per_dest {
@@ -156,7 +158,10 @@ fn edge_endpoint_accepts_one_flit_per_cycle() {
     }
     assert_eq!(eject_cycles.len(), 40);
     for w in eject_cycles.windows(2) {
-        assert!(w[1] > w[0], "at most one ejection per cycle at an edge port");
+        assert!(
+            w[1] > w[0],
+            "at most one ejection per cycle at an edge port"
+        );
     }
 }
 
@@ -198,13 +203,11 @@ fn head_of_line_blocking_exists_in_wormhole() {
     let s = Coord::new(0, 0);
     let flood_dst = Coord::new(6, 1);
     let probe_dst = Coord::new(7, 0);
-    let mut id = 0;
-    for _ in 0..30 {
+    for id in 0..30 {
         net.enqueue(
             net.tile_endpoint(s),
             Flit::single(s, Dest::tile(flood_dst), id, 0),
         );
-        id += 1;
     }
     net.enqueue(
         net.tile_endpoint(s),
@@ -233,7 +236,10 @@ fn saturated_network_keeps_conserving_flits() {
             for c in dims.iter() {
                 let d = Coord::new(rng.gen_range(0..6), rng.gen_range(0..6));
                 if d != c {
-                    net.enqueue(net.tile_endpoint(c), Flit::single(c, Dest::tile(d), id, cycle));
+                    net.enqueue(
+                        net.tile_endpoint(c),
+                        Flit::single(c, Dest::tile(d), id, cycle),
+                    );
                     id += 1;
                 }
             }

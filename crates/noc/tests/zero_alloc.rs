@@ -89,7 +89,10 @@ fn assert_steady_state_alloc_free(cfg: NetworkConfig, label: &str) {
         let before = allocations();
         net.step();
         in_step += allocations() - before;
-        assert!(net.cycles_since_progress() < 20_000, "{label}: drain stalled");
+        assert!(
+            net.cycles_since_progress() < 20_000,
+            "{label}: drain stalled"
+        );
     }
     assert_eq!(
         in_step, 0,

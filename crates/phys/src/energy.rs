@@ -99,7 +99,12 @@ impl EnergyModel {
 
 /// Energy to deliver a packet along a full route, split into router and
 /// wire components, pJ.
-pub fn route_energy_pj(cfg: &NetworkConfig, model: &EnergyModel, src: ruche_noc::geometry::Coord, dst: ruche_noc::geometry::Coord) -> (f64, f64) {
+pub fn route_energy_pj(
+    cfg: &NetworkConfig,
+    model: &EnergyModel,
+    src: ruche_noc::geometry::Coord,
+    dst: ruche_noc::geometry::Coord,
+) -> (f64, f64) {
     let path = ruche_noc::routing::walk_route(cfg, src, ruche_noc::routing::Dest::tile(dst));
     let mut router = 0.0;
     let mut wire = 0.0;

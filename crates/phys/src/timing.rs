@@ -164,11 +164,15 @@ mod tests {
         let depop = params(&NetworkConfig::full_ruche(dims(), 3, Depopulated));
         let torus = params(&NetworkConfig::torus(dims()));
         for t in [98.0, 80.0, 60.0, 45.0] {
-            let (Some(a), Some(b)) = (area_at(&depop, &tech, t), area_at(&torus, &tech, t))
-            else {
+            let (Some(a), Some(b)) = (area_at(&depop, &tech, t), area_at(&torus, &tech, t)) else {
                 continue;
             };
-            assert!(a.total() < b.total(), "at {t} FO4: {} vs {}", a.total(), b.total());
+            assert!(
+                a.total() < b.total(),
+                "at {t} FO4: {} vs {}",
+                a.total(),
+                b.total()
+            );
         }
     }
 

@@ -4,6 +4,9 @@
 //! (Figures 6 and 9) directly in `cargo bench` output, next to the CSV
 //! artifacts.
 
+/// One plotted series: marker glyph, name, and `(x, y)` points.
+type Series = (char, String, Vec<(f64, f64)>);
+
 /// An ASCII plot of one or more named series on shared axes.
 #[derive(Debug, Clone)]
 pub struct AsciiPlot {
@@ -13,7 +16,7 @@ pub struct AsciiPlot {
     width: usize,
     height: usize,
     y_max: Option<f64>,
-    series: Vec<(char, String, Vec<(f64, f64)>)>,
+    series: Vec<Series>,
 }
 
 impl AsciiPlot {
@@ -93,8 +96,8 @@ impl AsciiPlot {
         for (mark, _, pts) in &self.series {
             for &(x, y) in pts {
                 let cx = ((x - x_min) / x_span * (self.width - 1) as f64).round() as usize;
-                let cy = ((y.min(y_max) - y_min) / y_span * (self.height - 1) as f64).round()
-                    as usize;
+                let cy =
+                    ((y.min(y_max) - y_min) / y_span * (self.height - 1) as f64).round() as usize;
                 let row = self.height - 1 - cy;
                 grid[row][cx.min(self.width - 1)] = *mark;
             }

@@ -79,9 +79,7 @@ impl Pattern {
     pub fn validate(&self, dims: Dims) -> Result<(), PatternError> {
         match self {
             Pattern::Transpose if dims.cols != dims.rows => Err(PatternError::NeedsSquareArray),
-            Pattern::Hotspot(c) if !dims.contains(*c) => {
-                Err(PatternError::HotspotOutOfBounds(*c))
-            }
+            Pattern::Hotspot(c) if !dims.contains(*c) => Err(PatternError::HotspotOutOfBounds(*c)),
             _ => Ok(()),
         }
     }
@@ -95,10 +93,7 @@ impl Pattern {
                     return None;
                 }
                 loop {
-                    let d = Coord::new(
-                        rng.gen_range(0..dims.cols),
-                        rng.gen_range(0..dims.rows),
-                    );
+                    let d = Coord::new(rng.gen_range(0..dims.cols), rng.gen_range(0..dims.rows));
                     if d != src {
                         return Some(Dest::tile(d));
                     }

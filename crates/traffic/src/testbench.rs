@@ -212,11 +212,7 @@ pub struct CurvePoint {
 
 /// Sweeps injection rates, producing the latency/throughput curve of the
 /// paper's Figures 6 and 9.
-pub fn latency_curve(
-    cfg: &NetworkConfig,
-    tb_proto: &Testbench,
-    rates: &[f64],
-) -> Vec<CurvePoint> {
+pub fn latency_curve(cfg: &NetworkConfig, tb_proto: &Testbench, rates: &[f64]) -> Vec<CurvePoint> {
     rates
         .iter()
         .map(|&r| {
@@ -306,8 +302,7 @@ mod tests {
         // crossbar bandwidth.
         let dims = Dims::new(8, 8);
         let torus = saturation_throughput(&NetworkConfig::torus(dims), Pattern::UniformRandom, 3);
-        let r1 =
-            saturation_throughput(&NetworkConfig::ruche_one(dims), Pattern::UniformRandom, 3);
+        let r1 = saturation_throughput(&NetworkConfig::ruche_one(dims), Pattern::UniformRandom, 3);
         assert!(r1 > torus, "ruche1 {r1} vs torus {torus}");
     }
 
@@ -339,8 +334,8 @@ mod tests {
 
     #[test]
     fn tile_to_memory_runs_on_edge_network() {
-        let cfg = NetworkConfig::half_ruche(Dims::new(16, 8), 2, FullyPopulated)
-            .with_edge_memory_ports();
+        let cfg =
+            NetworkConfig::half_ruche(Dims::new(16, 8), 2, FullyPopulated).with_edge_memory_ports();
         let res = run(&cfg, &quick(Pattern::TileToMemory, 0.05)).unwrap();
         assert!(res.delivered > 0);
         assert!(!res.saturated);
@@ -376,6 +371,9 @@ mod tests {
         tb.packet_len = 3;
         let res = run(&cfg, &tb).unwrap();
         let single = run(&cfg, &quick(Pattern::UniformRandom, 0.02)).unwrap();
-        assert!(res.avg_latency > single.avg_latency, "serialization latency");
+        assert!(
+            res.avg_latency > single.avg_latency,
+            "serialization latency"
+        );
     }
 }

@@ -1,0 +1,196 @@
+//! The channel-dependency graph and its cycle detector.
+//!
+//! Dally & Seitz: a deterministic routing function is deadlock-free iff
+//! the *channel-dependency graph* — vertices are `(link, vc)` channels,
+//! with an edge A → B whenever some packet can hold A while requesting
+//! B — is acyclic. The graph is built by replaying every enumerated route
+//! hop by hop; cycles are found with an iterative Tarjan SCC pass (the
+//! graph can have tens of thousands of vertices, so the recursive
+//! formulation would risk stack overflow) and reported as concrete
+//! witnesses: the channels on the cycle plus one inducing route per edge.
+
+use crate::report::{Channel, RouteId};
+use crate::TraceStep;
+use ruche_noc::prelude::*;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Channel-dependency graph under construction.
+#[derive(Debug, Default)]
+pub(crate) struct Cdg {
+    ids: HashMap<Channel, u32>,
+    channels: Vec<Channel>,
+    /// Adjacency: `deps[a]` = channels requested while holding `a`.
+    deps: Vec<Vec<u32>>,
+    /// One inducing route per dependency edge.
+    witness: HashMap<(u32, u32), RouteId>,
+    edges: usize,
+}
+
+impl Cdg {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    fn intern(&mut self, ch: Channel) -> u32 {
+        if let Some(&id) = self.ids.get(&ch) {
+            return id;
+        }
+        let id = self.channels.len() as u32;
+        self.ids.insert(ch, id);
+        self.channels.push(ch);
+        self.deps.push(Vec::new());
+        id
+    }
+
+    /// Replays one traced route into the graph. Steps whose output has no
+    /// link behind it (ejection at P, exits into edge endpoints) do not
+    /// form channels: a packet never holds them while waiting.
+    pub(crate) fn add_trace(&mut self, cfg: &NetworkConfig, route: RouteId, steps: &[TraceStep]) {
+        let mut prev: Option<u32> = None;
+        for step in steps {
+            if cfg.neighbor(step.here, step.out).is_none() {
+                prev = None;
+                continue;
+            }
+            let id = self.intern(Channel {
+                from: step.here,
+                out: step.out,
+                vc: step.out_vc,
+            });
+            if let Some(held) = prev {
+                if let std::collections::hash_map::Entry::Vacant(e) = self.witness.entry((held, id))
+                {
+                    e.insert(route);
+                    self.deps[held as usize].push(id);
+                    self.edges += 1;
+                }
+            }
+            prev = Some(id);
+        }
+    }
+
+    pub(crate) fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    pub(crate) fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Strongly connected components, via iterative Tarjan.
+    fn sccs(&self) -> Vec<Vec<u32>> {
+        const UNVISITED: u32 = u32::MAX;
+        let n = self.channels.len();
+        let mut index = vec![UNVISITED; n];
+        let mut low = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut next_index = 0u32;
+        let mut components = Vec::new();
+        // Explicit DFS frames: (vertex, next child position).
+        let mut call: Vec<(u32, usize)> = Vec::new();
+        for root in 0..n as u32 {
+            if index[root as usize] != UNVISITED {
+                continue;
+            }
+            call.push((root, 0));
+            while let Some(&(v, child)) = call.last() {
+                let vu = v as usize;
+                if child == 0 {
+                    index[vu] = next_index;
+                    low[vu] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[vu] = true;
+                }
+                if child < self.deps[vu].len() {
+                    call.last_mut().expect("frame").1 += 1;
+                    let w = self.deps[vu][child];
+                    let wu = w as usize;
+                    if index[wu] == UNVISITED {
+                        call.push((w, 0));
+                    } else if on_stack[wu] {
+                        low[vu] = low[vu].min(index[wu]);
+                    }
+                } else {
+                    call.pop();
+                    if let Some(&(parent, _)) = call.last() {
+                        let pu = parent as usize;
+                        low[pu] = low[pu].min(low[vu]);
+                    }
+                    if low[vu] == index[vu] {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("scc stack");
+                            on_stack[w as usize] = false;
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        components.push(comp);
+                    }
+                }
+            }
+        }
+        components
+    }
+
+    /// Size of the largest SCC (1 on an acyclic graph with vertices).
+    pub(crate) fn largest_scc(&self) -> usize {
+        self.sccs().iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// One witness cycle per non-trivial SCC (and per self-loop).
+    pub(crate) fn cycles(&self) -> Vec<(Vec<Channel>, Vec<RouteId>)> {
+        let mut found = Vec::new();
+        for scc in self.sccs() {
+            let cyclic = scc.len() > 1 || self.deps[scc[0] as usize].contains(&scc[0]);
+            if cyclic {
+                found.push(self.extract_cycle(&scc));
+            }
+        }
+        found
+    }
+
+    /// Shortest cycle through the smallest-id vertex of `scc`, found by
+    /// BFS restricted to the component.
+    fn extract_cycle(&self, scc: &[u32]) -> (Vec<Channel>, Vec<RouteId>) {
+        let members: HashSet<u32> = scc.iter().copied().collect();
+        let start = *scc.iter().min().expect("non-empty scc");
+        let mut pred: HashMap<u32, u32> = HashMap::new();
+        let mut queue = VecDeque::from([start]);
+        while let Some(v) = queue.pop_front() {
+            for &w in &self.deps[v as usize] {
+                if !members.contains(&w) {
+                    continue;
+                }
+                if w == start {
+                    // Close the cycle: start ⇝ v, then the edge v → start.
+                    let mut nodes = vec![v];
+                    let mut cur = v;
+                    while cur != start {
+                        cur = pred[&cur];
+                        nodes.push(cur);
+                    }
+                    nodes.reverse();
+                    let channels: Vec<Channel> =
+                        nodes.iter().map(|&u| self.channels[u as usize]).collect();
+                    let routes: Vec<RouteId> = (0..nodes.len())
+                        .map(|i| {
+                            let a = nodes[i];
+                            let b = nodes[(i + 1) % nodes.len()];
+                            self.witness[&(a, b)]
+                        })
+                        .collect();
+                    return (channels, routes);
+                }
+                if w != start && !pred.contains_key(&w) {
+                    pred.insert(w, v);
+                    queue.push_back(w);
+                }
+            }
+        }
+        unreachable!("SCC flagged cyclic but no cycle through its root")
+    }
+}

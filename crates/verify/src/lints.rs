@@ -1,0 +1,397 @@
+//! The lint battery: route enumeration, per-hop invariant checks, and
+//! finding assembly.
+//!
+//! The pass enumerates every routing state the network can reach — all
+//! `(source, entry port, destination)` triples, including edge-memory
+//! traffic in exactly the directions the crossbar implements — walks each
+//! route with the (possibly injected) routing function, and checks each
+//! hop against:
+//!
+//! * **route totality** — the walk terminates at its destination within
+//!   [`NetworkConfig::max_route_hops`] and never leaves the array;
+//! * **minimal progress** — each non-ejection hop strictly decreases the
+//!   remaining distance (ring distance on torus axes), which rules out
+//!   livelock;
+//! * **crossbar connectivity** — every `(input → output)` transition is
+//!   implemented by the configured [`Connectivity`] matrix;
+//! * **VC range / monotonicity** — VC indices fit the per-port VC count
+//!   and never decrease while riding a torus ring (the dateline ordering);
+//! * **symmetry** — on translation-symmetric topologies, route lengths
+//!   are invariant under X and Y reflection of the array.
+//!
+//! Every walked hop also feeds the channel-dependency graph; after the
+//! sweep, a Tarjan pass proves the Dally–Seitz acyclicity condition or
+//! reports each cycle with a concrete witness.
+
+use crate::cdg::Cdg;
+use crate::report::{CdgStats, Finding, Lint, Report, RouteId, Severity, Witness};
+use crate::{RouteFn, TraceStep};
+use ruche_noc::prelude::*;
+use ruche_noc::routing::edge_entry;
+use ruche_noc::topology::{fold_logical, DorOrder};
+use std::collections::HashMap;
+
+/// At most this many findings per lint carry a full witness; the rest are
+/// folded into a single "N more suppressed" line so a badly broken
+/// configuration produces a readable report instead of megabytes.
+const WITNESS_CAP: usize = 3;
+
+/// Collects findings with the per-lint witness cap applied.
+struct Sink {
+    findings: Vec<Finding>,
+    counts: HashMap<Lint, (usize, Severity)>,
+}
+
+impl Sink {
+    fn new() -> Self {
+        Sink {
+            findings: Vec::new(),
+            counts: HashMap::new(),
+        }
+    }
+
+    fn push(&mut self, lint: Lint, severity: Severity, message: String, witness: Option<Witness>) {
+        let entry = self.counts.entry(lint).or_insert((0, severity));
+        entry.0 += 1;
+        entry.1 = entry.1.max(severity);
+        if entry.0 <= WITNESS_CAP {
+            self.findings.push(Finding {
+                lint,
+                severity,
+                message,
+                witness,
+            });
+        }
+    }
+
+    fn finish(mut self) -> Vec<Finding> {
+        let mut overflow: Vec<(Lint, usize, Severity)> = self
+            .counts
+            .iter()
+            .filter(|(_, &(n, _))| n > WITNESS_CAP)
+            .map(|(&lint, &(n, sev))| (lint, n - WITNESS_CAP, sev))
+            .collect();
+        overflow.sort_by_key(|&(lint, ..)| lint.name());
+        for (lint, extra, severity) in overflow {
+            self.findings.push(Finding {
+                lint,
+                severity,
+                message: format!("...and {extra} more {lint} finding(s) suppressed"),
+                witness: None,
+            });
+        }
+        // Most severe first, stable within a severity.
+        self.findings.sort_by_key(|f| std::cmp::Reverse(f.severity));
+        self.findings
+    }
+}
+
+/// Walks one route with the injected routing function, recording the full
+/// per-hop state (input port, input VC, output port, output VC).
+fn trace(
+    cfg: &NetworkConfig,
+    route_fn: &RouteFn,
+    route: RouteId,
+) -> Result<Vec<TraceStep>, (RouteError, Vec<TraceStep>)> {
+    let mut here = route.src;
+    let mut in_dir = route.entry;
+    let mut in_vc = 0u8;
+    let mut steps = Vec::new();
+    let limit = cfg.max_route_hops();
+    loop {
+        let dec = route_fn(cfg, here, in_dir, in_vc, route.dest);
+        steps.push(TraceStep {
+            here,
+            in_dir,
+            in_vc,
+            out: dec.out,
+            out_vc: dec.out_vc,
+        });
+        if here == route.dest.coord && dec.out == route.dest.exit_dir() {
+            return Ok(steps);
+        }
+        let Some(next) = cfg.neighbor(here, dec.out) else {
+            let err = RouteError::LeftArray {
+                at: here,
+                out: dec.out,
+            };
+            return Err((err, steps));
+        };
+        in_dir = dec.out.opposite();
+        in_vc = dec.out_vc;
+        here = next;
+        if steps.len() > limit {
+            return Err((RouteError::HopLimit { limit }, steps));
+        }
+    }
+}
+
+/// Every routing state the verifier must cover. Edge traffic is
+/// enumerated in exactly the directions the crossbar derivation
+/// implements (requests route X-Y *to* the edges, responses Y-X *from*
+/// them, unless `edge_bidirectional` carries both).
+fn route_cases(cfg: &NetworkConfig) -> Vec<RouteId> {
+    let mut cases = Vec::new();
+    for src in cfg.dims.iter() {
+        for dst in cfg.dims.iter() {
+            cases.push(RouteId {
+                src,
+                entry: Dir::P,
+                dest: Dest::tile(dst),
+            });
+        }
+    }
+    if cfg.edge_memory_ports {
+        let to_edge = cfg.edge_bidirectional || cfg.dor == DorOrder::XY;
+        let from_edge = cfg.edge_bidirectional || cfg.dor == DorOrder::YX;
+        for col in 0..cfg.dims.cols {
+            for edge in [EdgePort::North, EdgePort::South] {
+                if to_edge {
+                    let dest = match edge {
+                        EdgePort::North => Dest::north_edge(col),
+                        EdgePort::South => Dest::south_edge(col, cfg.dims.rows),
+                    };
+                    for src in cfg.dims.iter() {
+                        cases.push(RouteId {
+                            src,
+                            entry: Dir::P,
+                            dest,
+                        });
+                    }
+                }
+                if from_edge {
+                    let (src, entry) = edge_entry(cfg.dims, edge, col);
+                    for dst in cfg.dims.iter() {
+                        cases.push(RouteId {
+                            src,
+                            entry,
+                            dest: Dest::tile(dst),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    cases
+}
+
+/// Remaining distance from `here` to `goal`: Manhattan on open axes, the
+/// shortest logical ring distance on torus axes. Every legal hop of every
+/// supported routing function strictly decreases this, which is the
+/// livelock-freedom argument the `minimal-progress` lint enforces.
+fn progress_metric(cfg: &NetworkConfig, here: Coord, goal: Coord) -> u32 {
+    let mut metric = 0u32;
+    for axis in [Axis::X, Axis::Y] {
+        let (h, g) = match axis {
+            Axis::X => (here.x, goal.x),
+            Axis::Y => (here.y, goal.y),
+        };
+        if cfg.torus_axis(axis) {
+            let k = cfg.extent(axis) as u32;
+            let lh = fold_logical(h, cfg.extent(axis)) as u32;
+            let lg = fold_logical(g, cfg.extent(axis)) as u32;
+            let fwd = (lg + k - lh) % k;
+            metric += fwd.min(k - fwd);
+        } else {
+            metric += u32::from(h.abs_diff(g));
+        }
+    }
+    metric
+}
+
+/// Runs the full lint battery for `cfg`, walking routes with `route_fn`.
+pub(crate) fn analyze(cfg: &NetworkConfig, route_fn: &RouteFn) -> Report {
+    let label = cfg.label();
+    let dims = format!("{}x{}", cfg.dims.cols, cfg.dims.rows);
+    let mut sink = Sink::new();
+
+    if let Err(e) = cfg.validate() {
+        sink.push(
+            Lint::Config,
+            Severity::Error,
+            format!("configuration rejected: {e}"),
+            None,
+        );
+        return Report {
+            label,
+            dims,
+            findings: sink.finish(),
+            stats: CdgStats::default(),
+        };
+    }
+
+    let conn = Connectivity::of(cfg);
+    let cases = route_cases(cfg);
+    let mut cdg = Cdg::new();
+    // Tile-to-tile hop counts for the symmetry lint, indexed
+    // `[src][dst]`; only trusted if every tile-to-tile trace succeeded.
+    let n = cfg.dims.count();
+    let mut hops: Vec<u32> = vec![0; n * n];
+    let mut hops_complete = true;
+
+    for &route in &cases {
+        // A failed walk still yields its partial path: the per-hop lints
+        // below run on it too, so a non-terminating route reports *why*
+        // it bounces (usually minimal-progress violations) and not just
+        // that it does.
+        let (steps, complete) = match trace(cfg, route_fn, route) {
+            Ok(steps) => (steps, true),
+            Err((err, partial)) => {
+                sink.push(
+                    Lint::RouteTotality,
+                    Severity::Error,
+                    format!("{err}"),
+                    Some(Witness::Route {
+                        route,
+                        steps: partial.iter().map(|s| (s.here, s.out)).collect(),
+                    }),
+                );
+                hops_complete = false;
+                (partial, false)
+            }
+        };
+        let witness = || Witness::Route {
+            route,
+            steps: steps.iter().map(|s| (s.here, s.out)).collect(),
+        };
+        for step in &steps {
+            if !conn.allows(step.in_dir, step.out) {
+                sink.push(
+                    Lint::CrossbarConnectivity,
+                    Severity::Error,
+                    format!(
+                        "router {} routes {} -> {}, not implemented by the {:?} crossbar",
+                        step.here, step.in_dir, step.out, cfg.scheme
+                    ),
+                    Some(witness()),
+                );
+            }
+            if usize::from(step.out_vc) >= cfg.vcs(step.out) {
+                sink.push(
+                    Lint::VcRange,
+                    Severity::Error,
+                    format!(
+                        "router {} requests vc{} on {}, which has {} VC(s)",
+                        step.here,
+                        step.out_vc,
+                        step.out,
+                        cfg.vcs(step.out)
+                    ),
+                    Some(witness()),
+                );
+            }
+            let same_ring = step.in_dir.axis().is_some()
+                && step.in_dir.axis() == step.out.axis()
+                && cfg.torus_axis(step.in_dir.axis().expect("checked"));
+            if same_ring && step.out_vc < step.in_vc {
+                sink.push(
+                    Lint::VcMonotonicity,
+                    Severity::Warning,
+                    format!(
+                        "router {} drops vc{} -> vc{} while staying on the {} ring",
+                        step.here,
+                        step.in_vc,
+                        step.out_vc,
+                        step.in_dir.axis().map(|a| format!("{a:?}")).expect("ring"),
+                    ),
+                    Some(witness()),
+                );
+            }
+            // Every hop with a link behind it must make strict progress
+            // toward the egress router; ejections (P or edge exits, the
+            // outputs with no link) are exempt.
+            if let Some(next) = cfg.neighbor(step.here, step.out) {
+                let before = progress_metric(cfg, step.here, route.dest.coord);
+                let after = progress_metric(cfg, next, route.dest.coord);
+                if after >= before {
+                    sink.push(
+                        Lint::MinimalProgress,
+                        Severity::Error,
+                        format!(
+                            "hop {} -{}-> {next} leaves remaining distance at {after} (was {before})",
+                            step.here, step.out
+                        ),
+                        Some(witness()),
+                    );
+                }
+            }
+        }
+        cdg.add_trace(cfg, route, &steps);
+        if complete && route.entry == Dir::P && route.dest.edge.is_none() {
+            hops[cfg.dims.index(route.src) * n + cfg.dims.index(route.dest.coord)] =
+                steps.len() as u32;
+        }
+    }
+
+    // Dally–Seitz: cycles in the channel-dependency graph.
+    for (channels, routes) in cdg.cycles() {
+        sink.push(
+            Lint::ChannelDeadlock,
+            Severity::Error,
+            format!(
+                "channel-dependency cycle of length {} — the network can deadlock",
+                channels.len()
+            ),
+            Some(Witness::Cycle { channels, routes }),
+        );
+    }
+
+    // Reflection symmetry of route lengths. Torus axes are excluded: the
+    // folded layout maps a physical reflection to a ring rotation, whose
+    // interaction with the tie-break direction legitimately changes hop
+    // counts.
+    let reflective = !cfg.torus_axis(Axis::X) && !cfg.torus_axis(Axis::Y);
+    if reflective && hops_complete {
+        let reflect = |c: Coord, fx: bool| -> Coord {
+            if fx {
+                Coord::new(cfg.dims.cols - 1 - c.x, c.y)
+            } else {
+                Coord::new(c.x, cfg.dims.rows - 1 - c.y)
+            }
+        };
+        for src in cfg.dims.iter() {
+            for dst in cfg.dims.iter() {
+                let base = hops[cfg.dims.index(src) * n + cfg.dims.index(dst)];
+                for flip_x in [true, false] {
+                    let (rs, rd) = (reflect(src, flip_x), reflect(dst, flip_x));
+                    let mirrored = hops[cfg.dims.index(rs) * n + cfg.dims.index(rd)];
+                    if mirrored != base {
+                        sink.push(
+                            Lint::Symmetry,
+                            Severity::Warning,
+                            format!(
+                                "route {src}->{dst} takes {base} hop(s) but its {} mirror \
+                                 {rs}->{rd} takes {mirrored}",
+                                if flip_x { "X" } else { "Y" }
+                            ),
+                            None,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    let stats = CdgStats {
+        channels: cdg.channel_count(),
+        dependencies: cdg.edge_count(),
+        routes: cases.len(),
+        largest_scc: cdg.largest_scc(),
+    };
+    sink.push(
+        Lint::CdgStats,
+        Severity::Info,
+        format!(
+            "{} channels, {} dependencies from {} routes; largest SCC {}",
+            stats.channels, stats.dependencies, stats.routes, stats.largest_scc
+        ),
+        None,
+    );
+
+    Report {
+        label,
+        dims,
+        findings: sink.finish(),
+        stats,
+    }
+}

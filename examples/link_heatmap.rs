@@ -24,7 +24,10 @@ fn utilization_grid(cfg: NetworkConfig, rate: f64, cycles: u64) -> (Vec<f64>, St
             if rng.gen_bool(rate) {
                 let d = Coord::new(rng.gen_range(0..dims.cols), rng.gen_range(0..dims.rows));
                 if d != c {
-                    net.enqueue(net.tile_endpoint(c), Flit::single(c, Dest::tile(d), id, cycle));
+                    net.enqueue(
+                        net.tile_endpoint(c),
+                        Flit::single(c, Dest::tile(d), id, cycle),
+                    );
                     id += 1;
                 }
             }

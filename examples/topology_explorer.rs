@@ -27,8 +27,16 @@ fn main() {
     ];
     for rf in 2..=3u16 {
         if rf < cols && rf < rows {
-            configs.push(NetworkConfig::full_ruche(dims, rf, CrossbarScheme::Depopulated));
-            configs.push(NetworkConfig::full_ruche(dims, rf, CrossbarScheme::FullyPopulated));
+            configs.push(NetworkConfig::full_ruche(
+                dims,
+                rf,
+                CrossbarScheme::Depopulated,
+            ));
+            configs.push(NetworkConfig::full_ruche(
+                dims,
+                rf,
+                CrossbarScheme::FullyPopulated,
+            ));
         }
     }
 

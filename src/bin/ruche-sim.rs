@@ -78,9 +78,7 @@ fn parse_args() -> Args {
             "--pattern" => args.pattern = take(&mut i),
             "--rate" => args.rate = take(&mut i).parse().unwrap_or_else(|_| usage()),
             "--sweep" => args.sweep = true,
-            "--packet-len" => {
-                args.packet_len = take(&mut i).parse().unwrap_or_else(|_| usage())
-            }
+            "--packet-len" => args.packet_len = take(&mut i).parse().unwrap_or_else(|_| usage()),
             "--pipeline" => args.pipeline = take(&mut i).parse().unwrap_or_else(|_| usage()),
             "--seed" => args.seed = take(&mut i).parse().unwrap_or_else(|_| usage()),
             "--help" | "-h" => usage(),

@@ -17,7 +17,11 @@ fn paper_headline_uniform_random_ordering() {
     let torus = sat(&NetworkConfig::torus(dims));
     let r1 = sat(&NetworkConfig::ruche_one(dims));
     let mm = sat(&NetworkConfig::multi_mesh(dims));
-    let r2 = sat(&NetworkConfig::full_ruche(dims, 2, CrossbarScheme::FullyPopulated));
+    let r2 = sat(&NetworkConfig::full_ruche(
+        dims,
+        2,
+        CrossbarScheme::FullyPopulated,
+    ));
     assert!(mesh < torus, "mesh {mesh} < torus {torus}");
     assert!(torus < r1, "torus {torus} < ruche1 {r1}");
     assert!(r1 <= r2 + 0.02, "ruche1 {r1} <= ruche2 {r2}");
@@ -89,7 +93,10 @@ fn fairness_improves_with_ruche() {
         3,
         CrossbarScheme::FullyPopulated,
     ));
-    assert!(r3_sd < mesh_sd * 0.65, "ruche3 sd {r3_sd} vs mesh {mesh_sd}");
+    assert!(
+        r3_sd < mesh_sd * 0.65,
+        "ruche3 sd {r3_sd} vs mesh {mesh_sd}"
+    );
     assert!(torus_sd < mesh_sd * 0.65, "torus is near-symmetric");
     assert!(r3_mean < mesh_mean);
 }
@@ -103,7 +110,11 @@ fn manycore_jacobi_exposes_folded_torus_pathology() {
     let cyc = |net: NetworkConfig| run(&SystemConfig::new(net), &w).unwrap().cycles;
     let mesh = cyc(NetworkConfig::mesh(dims));
     let torus = cyc(NetworkConfig::half_torus(dims));
-    let ruche = cyc(NetworkConfig::half_ruche(dims, 2, CrossbarScheme::Depopulated));
+    let ruche = cyc(NetworkConfig::half_ruche(
+        dims,
+        2,
+        CrossbarScheme::Depopulated,
+    ));
     assert!(torus > mesh, "half-torus {torus} slower than mesh {mesh}");
     assert!(ruche < mesh, "ruche2 {ruche} faster than mesh {mesh}");
 }
@@ -118,7 +129,11 @@ fn manycore_energy_story_matches_figure13() {
     let e = |net: NetworkConfig| run(&SystemConfig::new(net), &w).unwrap().energy;
     let mesh = e(NetworkConfig::mesh(dims));
     let torus = e(NetworkConfig::half_torus(dims));
-    let ruche = e(NetworkConfig::half_ruche(dims, 2, CrossbarScheme::Depopulated));
+    let ruche = e(NetworkConfig::half_ruche(
+        dims,
+        2,
+        CrossbarScheme::Depopulated,
+    ));
     assert_eq!(mesh.core_pj, torus.core_pj);
     assert_eq!(mesh.core_pj, ruche.core_pj);
     assert!(torus.router_pj > mesh.router_pj * 1.3);

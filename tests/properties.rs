@@ -7,7 +7,7 @@ use proptest::prelude::*;
 use ruche::noc::crossbar::Connectivity;
 use ruche::noc::packet::Flit;
 use ruche::noc::prelude::*;
-use ruche::noc::routing::walk_route;
+use ruche::noc::routing::{route_hops, try_walk_route, walk_route};
 
 /// Strategy over the evaluated network families on modest arrays.
 fn arb_config() -> impl Strategy<Value = NetworkConfig> {
@@ -33,8 +33,65 @@ fn arb_config() -> impl Strategy<Value = NetworkConfig> {
     )
 }
 
+/// Like [`arb_config`], but additionally varies the DOR order and allows
+/// degenerate line arrays (1×N / N×1); invalid combinations are filtered
+/// by `prop_assume!(cfg.validate().is_ok())` at the use sites.
+fn arb_dor_config() -> impl Strategy<Value = NetworkConfig> {
+    (
+        1u16..=9,
+        1u16..=9,
+        0u8..=6,
+        1u16..=3,
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(cols, rows, kind, rf, pop, yx)| {
+            let dims = Dims::new(cols, rows);
+            let rf = rf
+                .min(cols.saturating_sub(1))
+                .min(rows.saturating_sub(1))
+                .max(1);
+            let scheme = if pop || rf == 1 {
+                CrossbarScheme::FullyPopulated
+            } else {
+                CrossbarScheme::Depopulated
+            };
+            let cfg = match kind {
+                0 => NetworkConfig::mesh(dims),
+                1 => NetworkConfig::multi_mesh(dims),
+                2 => NetworkConfig::torus(dims),
+                3 => NetworkConfig::half_torus(dims),
+                4 => NetworkConfig::full_ruche(dims, rf, scheme),
+                5 => NetworkConfig::half_ruche(dims, rf, scheme),
+                _ => NetworkConfig::ruche_one(dims),
+            };
+            let dor = if yx { DorOrder::YX } else { DorOrder::XY };
+            cfg.with_dor(dor)
+        })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Under either DOR order (and on degenerate line arrays), every walk
+    /// terminates at the destination's P port within the static hop
+    /// bound, and its length agrees with the analytic hop counter.
+    #[test]
+    fn walks_terminate_under_either_dor(
+        cfg in arb_dor_config(),
+        sx in 0u16..9, sy in 0u16..9, dx in 0u16..9, dy in 0u16..9,
+    ) {
+        prop_assume!(cfg.validate().is_ok());
+        let dims = cfg.dims;
+        let src = Coord::new(sx % dims.cols, sy % dims.rows);
+        let dst = Coord::new(dx % dims.cols, dy % dims.rows);
+        let walked = try_walk_route(&cfg, src, Dest::tile(dst));
+        prop_assert!(walked.is_ok(), "{}: {}", cfg.label(), walked.unwrap_err());
+        let path = walked.unwrap();
+        prop_assert_eq!(path.last().unwrap(), &(dst, Dir::P));
+        prop_assert!(path.len() <= cfg.max_route_hops());
+        prop_assert_eq!(path.len() as u32, route_hops(&cfg, src, dst));
+    }
 
     /// Every route terminates at its destination, within the hop bound,
     /// through legal crossbar transitions only.
