@@ -31,4 +31,7 @@ fn main() {
     figures::fig13::run(opts);
     figures::table6::run(opts);
     figures::ablations::run(opts);
+    if opts.telemetry {
+        ruche_bench::telemetry::run(opts);
+    }
 }

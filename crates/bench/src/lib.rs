@@ -32,6 +32,7 @@ pub mod out;
 pub mod preflight;
 pub mod suite;
 pub mod sweep;
+pub mod telemetry;
 
 pub use opts::Opts;
 pub use sweep::{SweepJob, SweepRunner};

@@ -14,6 +14,10 @@ pub struct Opts {
     /// Run the static pre-flight verification and exit without sweeping
     /// (`--verify-only` or `RUCHE_VERIFY_ONLY=1`).
     pub verify_only: bool,
+    /// Capture per-link telemetry for one representative configuration per
+    /// synthetic-traffic figure and write the JSON blobs under `results/`
+    /// (`--telemetry` or `RUCHE_TELEMETRY=1`).
+    pub telemetry: bool,
 }
 
 /// The machine's available parallelism (1 if it can't be queried).
@@ -54,6 +58,7 @@ impl Opts {
             threads,
             no_cache: flag("--no-cache", "RUCHE_NO_CACHE"),
             verify_only: flag("--verify-only", "RUCHE_VERIFY_ONLY"),
+            telemetry: flag("--telemetry", "RUCHE_TELEMETRY"),
         }
     }
 
@@ -64,6 +69,7 @@ impl Opts {
             threads: default_threads(),
             no_cache: false,
             verify_only: false,
+            telemetry: false,
         }
     }
 
@@ -142,6 +148,15 @@ mod tests {
         let env = |k: &str| (k == "RUCHE_NO_CACHE").then(|| "1".to_string());
         assert!(Opts::parse(&strs(&["bench"]), env).no_cache);
         assert!(!Opts::parse(&strs(&["bench"]), NO_ENV).no_cache);
+    }
+
+    #[test]
+    fn parses_telemetry() {
+        assert!(Opts::parse(&strs(&["bench", "--telemetry"]), NO_ENV).telemetry);
+        let env = |k: &str| (k == "RUCHE_TELEMETRY").then(|| "1".to_string());
+        assert!(Opts::parse(&strs(&["bench"]), env).telemetry);
+        assert!(!Opts::parse(&strs(&["bench"]), NO_ENV).telemetry);
+        assert!(!Opts::full().telemetry);
     }
 
     #[test]

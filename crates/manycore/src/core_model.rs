@@ -71,6 +71,9 @@ pub enum CoreState {
 }
 
 /// Per-core counters.
+///
+/// `stall_cycles` is the total; the four `stall_*` cause counters
+/// partition it exactly (see [`CoreStats::stall_breakdown`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CoreStats {
     /// Instructions executed (compute cycles + issued memory operations).
@@ -81,6 +84,24 @@ pub struct CoreStats {
     pub idle_cycles: u64,
     /// Memory operations issued.
     pub mem_ops: u64,
+    /// Stall cycles spent waiting at a barrier for release.
+    pub stall_barrier: u64,
+    /// Stall cycles spent waiting for outstanding responses at a
+    /// dependence point (`WaitAll`, barrier entry, end-of-program drain).
+    pub stall_dependence: u64,
+    /// Stall cycles spent blocked on NIC back-pressure (injection queue
+    /// full) while a memory operation was ready to issue.
+    pub stall_nic: u64,
+    /// Stall cycles spent with all outstanding-request slots occupied
+    /// while a memory operation was ready to issue.
+    pub stall_outstanding: u64,
+}
+
+impl CoreStats {
+    /// Sum of the per-cause stall counters; always equals `stall_cycles`.
+    pub fn stall_breakdown(&self) -> u64 {
+        self.stall_barrier + self.stall_dependence + self.stall_nic + self.stall_outstanding
+    }
 }
 
 /// An in-order core executing one operation stream.
@@ -151,6 +172,7 @@ impl Core {
             }
             CoreState::AtBarrier => {
                 self.stats.stall_cycles += 1;
+                self.stats.stall_barrier += 1;
                 return CoreAction::Stall;
             }
             CoreState::Running => {}
@@ -167,6 +189,7 @@ impl Core {
                 return CoreAction::Idle;
             }
             self.stats.stall_cycles += 1;
+            self.stats.stall_dependence += 1;
             return CoreAction::Stall;
         };
         match op {
@@ -183,23 +206,33 @@ impl Core {
                     CoreAction::Busy
                 } else {
                     self.stats.stall_cycles += 1;
+                    self.stats.stall_dependence += 1;
                     CoreAction::Stall
                 }
             }
             Op::Barrier => {
+                self.stats.stall_cycles += 1;
                 if self.outstanding == 0 {
                     self.pc += 1;
                     self.state = CoreState::AtBarrier;
-                    self.stats.stall_cycles += 1;
-                    CoreAction::Stall
+                    self.stats.stall_barrier += 1;
                 } else {
-                    self.stats.stall_cycles += 1;
-                    CoreAction::Stall
+                    // Cannot enter the barrier until every outstanding
+                    // request has returned — a dependence stall, not a
+                    // barrier-wait one.
+                    self.stats.stall_dependence += 1;
                 }
+                CoreAction::Stall
             }
             Op::Load(_) | Op::Store(_) | Op::Amo(_) | Op::LoadTile(_) => {
-                if !can_issue || self.outstanding >= self.max_outstanding {
+                if !can_issue {
                     self.stats.stall_cycles += 1;
+                    self.stats.stall_nic += 1;
+                    return CoreAction::Stall;
+                }
+                if self.outstanding >= self.max_outstanding {
+                    self.stats.stall_cycles += 1;
+                    self.stats.stall_outstanding += 1;
                     return CoreAction::Stall;
                 }
                 self.outstanding += 1;
@@ -294,10 +327,49 @@ mod tests {
     fn nic_backpressure_stalls() {
         let mut core = Core::new(vec![Op::Load(0)], 4);
         assert_eq!(core.tick(false), CoreAction::Stall);
+        assert_eq!(core.stats.stall_nic, 1);
         assert!(matches!(
             core.tick(true),
             CoreAction::Issue(MemRequest::Load(0))
         ));
+    }
+
+    #[test]
+    fn stall_causes_partition_total_stalls() {
+        // Exercise all four causes: outstanding-slot exhaustion, WaitAll
+        // dependence, barrier entry + wait, and NIC back-pressure.
+        let ops: Vec<Op> = (0..4)
+            .map(Op::Load)
+            .chain([Op::WaitAll, Op::Barrier, Op::Load(9), Op::WaitAll])
+            .collect();
+        let mut core = Core::new(ops, 1);
+        let mut pending: Vec<u64> = vec![];
+        let mut cycle = 0u64;
+        while core.state() != CoreState::Done {
+            pending.retain(|&due| {
+                if due <= cycle {
+                    core.on_response();
+                    false
+                } else {
+                    true
+                }
+            });
+            if core.state() == CoreState::AtBarrier && cycle.is_multiple_of(7) {
+                core.release_barrier(); // delayed release forces barrier waits
+            }
+            // Starve the NIC every third cycle.
+            if let CoreAction::Issue(_) = core.tick(!cycle.is_multiple_of(3)) {
+                pending.push(cycle + 5);
+            }
+            cycle += 1;
+            assert!(cycle < 100_000, "runaway core");
+        }
+        let s = core.stats;
+        assert_eq!(s.stall_breakdown(), s.stall_cycles, "{s:?}");
+        assert!(s.stall_outstanding > 0, "{s:?}");
+        assert!(s.stall_dependence > 0, "{s:?}");
+        assert!(s.stall_barrier > 0, "{s:?}");
+        assert!(s.stall_nic > 0, "{s:?}");
     }
 
     #[test]

@@ -36,11 +36,12 @@ pub mod memsys;
 
 /// Convenient re-exports of the most used types.
 pub mod prelude {
-    pub use crate::core_model::{Core, CoreAction, CoreState, Op};
+    pub use crate::core_model::{Core, CoreAction, CoreState, CoreStats, Op};
     pub use crate::graph::{Csr, GraphId};
     pub use crate::kernels::{Benchmark, DatasetId, Workload};
     pub use crate::machine::{
-        run, EnergyBreakdown, LatencySplit, MachineError, RunResult, SystemConfig,
+        run, run_probed, EnergyBreakdown, LatencySplit, MachineError, MachineTelemetry, RunResult,
+        SystemConfig,
     };
     pub use crate::memsys::{BankMap, Ipoly};
 }

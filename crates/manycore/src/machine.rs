@@ -23,6 +23,7 @@ use ruche_noc::routing::walk_route_from;
 use ruche_noc::topology::ConfigError;
 use ruche_phys::{EnergyModel, Tech};
 use ruche_stats::Accum;
+use ruche_telemetry::{Prefixed, Probe};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
@@ -212,6 +213,47 @@ struct Pending {
     kind: ReqKind,
 }
 
+/// Telemetry collected by a probed machine run ([`run_probed`]): the two
+/// networks' link/FIFO counters plus per-core execution breakdowns.
+#[derive(Debug, Clone)]
+pub struct MachineTelemetry {
+    /// Request-network (X-Y) counters.
+    pub req: Box<NetTelemetry>,
+    /// Response-network counters.
+    pub resp: Box<NetTelemetry>,
+    /// Final per-core counters, indexed by tile (row-major).
+    pub cores: Vec<crate::core_model::CoreStats>,
+}
+
+impl MachineTelemetry {
+    /// Pushes everything into `probe`: the request network under `req.`,
+    /// the response network under `resp.`, and per-core counters as
+    /// tile-indexed arrays under `core.`.
+    pub fn export(&self, probe: &mut dyn Probe) {
+        self.req.export(&mut Prefixed::new("req.", probe));
+        self.resp.export(&mut Prefixed::new("resp.", probe));
+        let mut scratch = vec![0u64; self.cores.len()];
+        for (name, get) in [
+            (
+                "core.instructions",
+                (|s: &crate::core_model::CoreStats| s.instructions)
+                    as fn(&crate::core_model::CoreStats) -> u64,
+            ),
+            ("core.mem_ops", |s| s.mem_ops),
+            ("core.idle_cycles", |s| s.idle_cycles),
+            ("core.stall_barrier", |s| s.stall_barrier),
+            ("core.stall_dependence", |s| s.stall_dependence),
+            ("core.stall_nic", |s| s.stall_nic),
+            ("core.stall_outstanding", |s| s.stall_outstanding),
+        ] {
+            for (slot, s) in scratch.iter_mut().zip(&self.cores) {
+                *slot = get(s);
+            }
+            probe.scalars(name, &scratch);
+        }
+    }
+}
+
 /// Runs a workload to completion on the configured system.
 ///
 /// # Errors
@@ -219,6 +261,30 @@ struct Pending {
 /// Returns [`MachineError`] for invalid configurations, workload/array
 /// shape mismatches, or runs exceeding the cycle cap.
 pub fn run(sys: &SystemConfig, workload: &Workload) -> Result<RunResult, MachineError> {
+    run_inner(sys, workload, None).map(|(res, _)| res)
+}
+
+/// Like [`run`], with telemetry attached to both networks for the whole
+/// run. `window` is the injection/ejection time-series bin width in
+/// cycles. The simulated machine behaves identically to [`run`].
+///
+/// # Errors
+///
+/// Returns [`MachineError`] exactly as [`run`] does.
+pub fn run_probed(
+    sys: &SystemConfig,
+    workload: &Workload,
+    window: u64,
+) -> Result<(RunResult, MachineTelemetry), MachineError> {
+    run_inner(sys, workload, Some(window))
+        .map(|(res, tel)| (res, tel.expect("telemetry was attached")))
+}
+
+fn run_inner(
+    sys: &SystemConfig,
+    workload: &Workload,
+    telemetry_window: Option<u64>,
+) -> Result<(RunResult, Option<MachineTelemetry>), MachineError> {
     let dims = sys.net.dims;
     let n_tiles = dims.count();
     if workload.programs.len() != n_tiles {
@@ -238,6 +304,10 @@ pub fn run(sys: &SystemConfig, workload: &Workload) -> Result<RunResult, Machine
     }
     let mut req = Network::new(req_cfg.clone())?;
     let mut resp = Network::new(resp_cfg.clone())?;
+    if let Some(window) = telemetry_window {
+        req.attach_telemetry(window);
+        resp.attach_telemetry(window);
+    }
 
     let bankmap = BankMap { dims };
     let ipoly = Ipoly::new(bankmap.banks());
@@ -302,10 +372,8 @@ pub fn run(sys: &SystemConfig, workload: &Workload) -> Result<RunResult, Machine
                     bank_q: &[VecDeque<Pending>],
                     server_q: &[VecDeque<Pending>]| {
         cores.iter().all(|c| c.state() == CoreState::Done)
-            && req.in_flight() == 0
-            && req.queued() == 0
-            && resp.in_flight() == 0
-            && resp.queued() == 0
+            && req.snapshot().is_idle()
+            && resp.snapshot().is_idle()
             && bank_q.iter().all(VecDeque::is_empty)
             && server_q.iter().all(VecDeque::is_empty)
     };
@@ -449,12 +517,10 @@ pub fn run(sys: &SystemConfig, workload: &Workload) -> Result<RunResult, Machine
     let mut wire_pj = 0.0;
     for (net, cfg) in [(&req, &req_cfg), (&resp, &resp_cfg)] {
         let model = EnergyModel::new(cfg, tech);
-        let ports = net.ports().to_vec();
-        for (slot, &count) in net.traversals().iter().enumerate() {
+        for (_, dir, count) in net.link_loads().iter() {
             if count == 0 {
                 continue;
             }
-            let dir = ports[slot % ports.len()];
             router_pj += count as f64 * model.router_energy_pj(dir);
             wire_pj += count as f64 * model.link_energy_pj(dir);
         }
@@ -466,16 +532,25 @@ pub fn run(sys: &SystemConfig, workload: &Workload) -> Result<RunResult, Machine
         wire_pj,
     };
 
-    Ok(RunResult {
-        label: sys.net.label(),
-        cycles: cycle,
-        instructions,
-        stall_cycles,
-        idle_cycles,
-        mem_ops,
-        load_latency: lat,
-        energy,
-    })
+    let telemetry = telemetry_window.map(|_| MachineTelemetry {
+        req: req.detach_telemetry().expect("attached above"),
+        resp: resp.detach_telemetry().expect("attached above"),
+        cores: cores.iter().map(|c| c.stats).collect(),
+    });
+
+    Ok((
+        RunResult {
+            label: sys.net.label(),
+            cycles: cycle,
+            instructions,
+            stall_cycles,
+            idle_cycles,
+            mem_ops,
+            load_latency: lat,
+            energy,
+        },
+        telemetry,
+    ))
 }
 
 #[cfg(test)]
@@ -635,5 +710,43 @@ mod tests {
         let b = run(&SystemConfig::new(tiny_net()), &w).unwrap();
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.stall_cycles, b.stall_cycles);
+    }
+
+    #[test]
+    fn probed_run_simulates_identically_and_exports() {
+        use ruche_telemetry::JsonProbe;
+        let w = Workload::build(Benchmark::Jacobi, DatasetId::Default, Dims::new(8, 4));
+        let sys = SystemConfig::new(tiny_net());
+        let plain = run(&sys, &w).unwrap();
+        let (probed, tel) = run_probed(&sys, &w, 64).unwrap();
+        // Telemetry observes; it must not perturb the simulation.
+        assert_eq!(plain.cycles, probed.cycles);
+        assert_eq!(plain.stall_cycles, probed.stall_cycles);
+        assert_eq!(plain.energy, probed.energy);
+
+        assert_eq!(tel.req.cycles(), probed.cycles);
+        assert_eq!(tel.cores.len(), 32);
+        // Per-core causes partition each core's stall total.
+        for s in &tel.cores {
+            assert_eq!(s.stall_breakdown(), s.stall_cycles, "{s:?}");
+        }
+        // The request network moved traffic; the export nests both
+        // networks and the core arrays under distinct prefixes.
+        let mut p = JsonProbe::new();
+        tel.export(&mut p);
+        let blob = p.into_json();
+        for key in [
+            "req.cycles",
+            "resp.cycles",
+            "core.instructions",
+            "core.stall_nic",
+        ] {
+            assert!(blob.contains(&format!("\"{key}\"")), "missing {key}");
+        }
+        // Byte-identical across identical probed runs.
+        let (_, tel2) = run_probed(&sys, &w, 64).unwrap();
+        let mut p2 = JsonProbe::new();
+        tel2.export(&mut p2);
+        assert_eq!(blob, p2.into_json());
     }
 }

@@ -33,7 +33,7 @@
 //! // Send one packet corner to corner and watch it arrive.
 //! let (src, dst) = (Coord::new(0, 0), Coord::new(7, 7));
 //! net.enqueue(net.tile_endpoint(src), Flit::single(src, Dest::tile(dst), 0, 0));
-//! while net.stats().ejected == 0 {
+//! while net.snapshot().ejected == 0 {
 //!     net.step();
 //! }
 //! assert!(net.cycle() < 20);
@@ -51,6 +51,7 @@ pub mod packet;
 pub mod router;
 pub mod routing;
 pub mod sim;
+pub mod telemetry;
 pub mod topology;
 
 /// Convenient re-exports of the most used types.
@@ -62,8 +63,9 @@ pub mod prelude {
         compute_route, mean_route_hops, route_hops, try_walk_route, walk_route, Dest, EdgePort,
         RouteDecision, RouteError,
     };
-    pub use crate::sim::{EndpointId, EndpointKind, NetStats, Network};
+    pub use crate::sim::{EndpointId, EndpointKind, LinkLoads, NetSnapshot, NetStats, Network};
+    pub use crate::telemetry::{BlockCause, LinkVcStats, NetTelemetry};
     pub use crate::topology::{
-        CrossbarScheme, DorOrder, NetworkConfig, SurveyTopology, TopologyKind,
+        CrossbarScheme, DorOrder, NetworkConfig, NetworkConfigBuilder, SurveyTopology, TopologyKind,
     };
 }

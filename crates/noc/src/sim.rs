@@ -18,6 +18,7 @@ use crate::geometry::{Coord, Dir};
 use crate::packet::Flit;
 use crate::router::Router;
 use crate::routing::{compute_route, Dest};
+use crate::telemetry::{BlockCause, NetTelemetry};
 use crate::topology::{ConfigError, NetworkConfig};
 use std::collections::VecDeque;
 use std::sync::OnceLock;
@@ -88,6 +89,100 @@ pub struct NetStats {
     pub injected: u64,
     /// Flits delivered to endpoint sinks.
     pub ejected: u64,
+}
+
+/// A versioned, point-in-time view of the aggregate simulation state — the
+/// one-stop replacement for the former per-counter probe methods.
+///
+/// The snapshot is `Copy` and computing it allocates nothing, so it is safe
+/// to take every cycle inside a simulation driver loop.
+///
+/// # Examples
+///
+/// ```
+/// use ruche_noc::prelude::*;
+///
+/// let net = Network::new(NetworkConfig::mesh(Dims::new(4, 4)))?;
+/// let s = net.snapshot();
+/// assert_eq!(s.version, NetSnapshot::VERSION);
+/// assert!(s.is_idle());
+/// # Ok::<(), ruche_noc::topology::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct NetSnapshot {
+    /// Snapshot layout version ([`NetSnapshot::VERSION`]); bumped whenever
+    /// a field changes meaning, so persisted consumers can detect skew.
+    pub version: u32,
+    /// Current cycle count.
+    pub cycle: u64,
+    /// Flits that have entered a router FIFO from a source queue.
+    pub injected: u64,
+    /// Flits delivered to endpoint sinks.
+    pub ejected: u64,
+    /// Flits currently buffered inside routers (or in pipeline transit).
+    pub in_flight: usize,
+    /// Flits waiting in endpoint source queues.
+    pub queued: usize,
+    /// Cycles elapsed since a flit last moved (deadlock watchdog).
+    pub cycles_since_progress: u64,
+}
+
+impl NetSnapshot {
+    /// The current snapshot layout version.
+    pub const VERSION: u32 = 1;
+
+    /// Whether the network holds no traffic at all (nothing buffered,
+    /// nothing queued at sources).
+    pub fn is_idle(&self) -> bool {
+        self.in_flight == 0 && self.queued == 0
+    }
+}
+
+/// A borrowed view of the per-(node, output port) flit traversal counters,
+/// replacing the raw [`Network::traversals`] slice accessor.
+///
+/// # Examples
+///
+/// ```
+/// use ruche_noc::prelude::*;
+///
+/// let net = Network::new(NetworkConfig::mesh(Dims::new(4, 4)))?;
+/// let loads = net.link_loads();
+/// let total: u64 = loads.iter().map(|(_, _, n)| n).sum();
+/// assert_eq!(total, 0);
+/// # Ok::<(), ruche_noc::topology::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct LinkLoads<'a> {
+    ports: &'a [Dir],
+    counts: &'a [u64],
+}
+
+impl LinkLoads<'_> {
+    /// The router port directions, in port-index order.
+    pub fn ports(&self) -> &[Dir] {
+        self.ports
+    }
+
+    /// Flits forwarded through (node, output port) so far.
+    pub fn count(&self, node: usize, port: usize) -> u64 {
+        self.counts[node * self.ports.len() + port]
+    }
+
+    /// The raw counters, indexed `node * ports().len() + port`.
+    pub fn raw(&self) -> &[u64] {
+        self.counts
+    }
+
+    /// Iterates `(node, direction, count)` over every output channel.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, Dir, u64)> + '_ {
+        let np = self.ports.len();
+        self.counts
+            .iter()
+            .enumerate()
+            .map(move |(i, &n)| (i / np, self.ports[i % np], n))
+    }
 }
 
 /// A cycle-accurate network instance.
@@ -172,6 +267,9 @@ pub struct Network {
     scratch_grants: Vec<Option<usize>>,
     /// Endpoints planned to inject this cycle.
     scratch_inject: Vec<u32>,
+    /// Attached per-link instrumentation; `None` (the default) keeps the
+    /// cycle loop allocation-free and branch-cheap.
+    telemetry: Option<Box<NetTelemetry>>,
 }
 
 impl Network {
@@ -276,6 +374,7 @@ impl Network {
             scratch_chosen: vec![None; np],
             scratch_grants: vec![None; np],
             scratch_inject: Vec::with_capacity(n_eps),
+            telemetry: None,
             cfg,
         })
     }
@@ -310,22 +409,44 @@ impl Network {
         self.cycle
     }
 
+    /// A point-in-time view of the aggregate simulation state: motion
+    /// counters, buffered/queued flit counts, and the progress watchdog,
+    /// in one versioned struct. Allocation-free.
+    pub fn snapshot(&self) -> NetSnapshot {
+        NetSnapshot {
+            version: NetSnapshot::VERSION,
+            cycle: self.cycle,
+            injected: self.stats.injected,
+            ejected: self.stats.ejected,
+            in_flight: self.in_flight,
+            queued: self.sources.iter().map(VecDeque::len).sum(),
+            cycles_since_progress: self.cycle - self.last_progress,
+        }
+    }
+
     /// Motion counters.
+    #[deprecated(since = "0.1.0", note = "use `Network::snapshot()` instead")]
     pub fn stats(&self) -> NetStats {
         self.stats
     }
 
     /// Flits currently buffered inside routers.
+    #[deprecated(since = "0.1.0", note = "use `Network::snapshot().in_flight` instead")]
     pub fn in_flight(&self) -> usize {
         self.in_flight
     }
 
     /// Flits waiting in endpoint source queues.
+    #[deprecated(since = "0.1.0", note = "use `Network::snapshot().queued` instead")]
     pub fn queued(&self) -> usize {
         self.sources.iter().map(VecDeque::len).sum()
     }
 
     /// Cycles elapsed since a flit last moved (deadlock watchdog).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Network::snapshot().cycles_since_progress` instead"
+    )]
     pub fn cycles_since_progress(&self) -> u64 {
         self.cycle - self.last_progress
     }
@@ -399,8 +520,40 @@ impl Network {
 
     /// Flit count forwarded through each (node, output port) so far,
     /// indexed `node * ports().len() + port`.
+    #[deprecated(since = "0.1.0", note = "use `Network::link_loads()` instead")]
     pub fn traversals(&self) -> &[u64] {
         &self.traversals
+    }
+
+    /// The per-(node, output port) flit traversal counters.
+    pub fn link_loads(&self) -> LinkLoads<'_> {
+        LinkLoads {
+            ports: &self.ports,
+            counts: &self.traversals,
+        }
+    }
+
+    /// Attaches fresh per-link telemetry (see [`NetTelemetry`]); injection
+    /// and ejection time series use `window`-cycle bins. Replaces any
+    /// previously attached instrument.
+    pub fn attach_telemetry(&mut self, window: u64) {
+        self.telemetry = Some(Box::new(NetTelemetry::new(
+            &self.ports,
+            self.cfg.dims.count(),
+            self.max_vcs,
+            self.cfg.fifo_depth,
+            window,
+        )));
+    }
+
+    /// Detaches and returns the accumulated telemetry, if any was attached.
+    pub fn detach_telemetry(&mut self) -> Option<Box<NetTelemetry>> {
+        self.telemetry.take()
+    }
+
+    /// The attached telemetry, if any.
+    pub fn telemetry(&self) -> Option<&NetTelemetry> {
+        self.telemetry.as_deref()
     }
 
     /// Advances one cycle; returns the flits ejected during it.
@@ -462,15 +615,18 @@ impl Network {
         }
         self.active_src = srcs;
 
+        // The instrument is moved out for the duration of the cycle so the
+        // planners/commit can borrow it mutably alongside `self`.
+        let mut tel = self.telemetry.take();
         if self.cfg.is_vc_router() {
-            self.plan_vc();
+            self.plan_vc(tel.as_deref_mut());
         } else {
-            self.plan_wormhole();
+            self.plan_wormhole(tel.as_deref_mut());
         }
         let transfers = std::mem::take(&mut self.scratch_transfers);
         let progressed = !transfers.is_empty();
         for t in &transfers {
-            self.commit(*t);
+            self.commit(*t, tel.as_deref_mut());
         }
         self.scratch_transfers = transfers;
         self.scratch_transfers.clear();
@@ -515,6 +671,21 @@ impl Network {
             keep
         });
         self.active_src = srcs;
+
+        // End-of-cycle telemetry: sample every input-FIFO occupancy and
+        // close the cycle's injection/ejection bins.
+        if let Some(t) = tel.as_deref_mut() {
+            let np = self.ports.len();
+            for node in 0..self.routers.len() {
+                for ip in 0..np {
+                    for (v, f) in self.routers[node].inputs[ip].vcs.iter().enumerate() {
+                        t.record_occupancy(node, ip, v, f.len() as u64);
+                    }
+                }
+            }
+            t.record_cycle(self.scratch_inject.len() as u64, self.ejected.len() as u64);
+        }
+        self.telemetry = tel;
 
         self.cycle += 1;
         &self.ejected
@@ -563,7 +734,7 @@ impl Network {
     /// downstream FIFO space (ready-valid-and). Idle routers are skipped;
     /// all decisions observe cycle-start state (commits happen later), so
     /// the single pass is equivalent to the synchronous two-phase update.
-    fn plan_wormhole(&mut self) {
+    fn plan_wormhole(&mut self, mut tel: Option<&mut NetTelemetry>) {
         let np = self.ports.len();
         let active = std::mem::take(&mut self.active);
         for &node in &active {
@@ -593,6 +764,20 @@ impl Network {
                     LinkTarget::None => false,
                 };
                 if !ready {
+                    if let Some(t) = tel.as_deref_mut() {
+                        // The FIFO-space check above and the credit counter
+                        // must agree, or NoCredit attribution silently lies.
+                        debug_assert!(
+                            !self.routers[node].outputs[op].has_credit(0),
+                            "NoCredit stall recorded at node {node} port {op} \
+                             while the output still holds credit"
+                        );
+                        for ip in 0..np {
+                            if reqs & (1 << ip) != 0 {
+                                t.record_blocked(node, op, 0, BlockCause::NoCredit);
+                            }
+                        }
+                    }
                     continue;
                 }
                 let lock = self.routers[node].outputs[op].lock;
@@ -601,6 +786,19 @@ impl Network {
                 } else {
                     self.routers[node].outputs[op].rr.pick_and_grant_mask(reqs)
                 };
+                if let Some(t) = tel.as_deref_mut() {
+                    // Output usable, but at most one requester proceeds;
+                    // when the lock owner is not requesting, all lose.
+                    let losers = match winner {
+                        Some(w) => reqs & !(1 << w),
+                        None => reqs,
+                    };
+                    for ip in 0..np {
+                        if losers & (1 << ip) != 0 {
+                            t.record_blocked(node, op, 0, BlockCause::LostArbitration);
+                        }
+                    }
+                }
                 if let Some(ip) = winner {
                     self.scratch_transfers.push(Transfer {
                         node,
@@ -617,7 +815,7 @@ impl Network {
 
     /// VC-router plan: ready-then-valid requests (credit-gated), one VC per
     /// input port, wavefront switch allocation. Idle routers are skipped.
-    fn plan_vc(&mut self) {
+    fn plan_vc(&mut self, mut tel: Option<&mut NetTelemetry>) {
         let np = self.ports.len();
         let mut valid = [false; 8];
         let mut decision = [None::<(usize, u8)>; 8];
@@ -650,12 +848,41 @@ impl Network {
                     if credit_ok && owner_ok {
                         valid[v] = true;
                         decision[v] = Some((op, out_vc));
+                    } else if let Some(t) = tel.as_deref_mut() {
+                        let cause = if credit_ok {
+                            // Output VC held by another packet: an
+                            // arbitration-side loss, not a credit stall.
+                            BlockCause::LostArbitration
+                        } else {
+                            debug_assert!(
+                                !self.routers[node].outputs[op].has_credit(out_vc as usize),
+                                "NoCredit stall recorded at node {node} port {op} \
+                                 vc {out_vc} while the output still holds credit"
+                            );
+                            BlockCause::NoCredit
+                        };
+                        t.record_blocked(node, op, out_vc as usize, cause);
                     }
                 }
                 if let Some(v) = self.routers[node].inputs[ip].rr_vc.pick(&valid[..n_vcs]) {
                     let (op, out_vc) = decision[v].expect("valid implies decision");
                     self.scratch_chosen[ip] = Some((v, op, out_vc));
                     self.scratch_req_mask[ip] |= 1 << op;
+                    if let Some(t) = tel.as_deref_mut() {
+                        // Sibling VCs that were sendable but lost the
+                        // per-input VC pick this cycle.
+                        for (v2, &ok) in valid[..n_vcs].iter().enumerate() {
+                            if ok && v2 != v {
+                                let (op2, ovc2) = decision[v2].expect("valid implies decision");
+                                t.record_blocked(
+                                    node,
+                                    op2,
+                                    ovc2 as usize,
+                                    BlockCause::LostArbitration,
+                                );
+                            }
+                        }
+                    }
                 }
             }
             let r = &mut self.routers[node];
@@ -673,14 +900,23 @@ impl Network {
                         out_port: op,
                         out_vc: out_vc as usize,
                     });
+                } else if let Some((_, op, out_vc)) = self.scratch_chosen[ip] {
+                    // Chosen a VC and raised a request, but the wavefront
+                    // allocator granted the output to another input.
+                    if let Some(t) = tel.as_deref_mut() {
+                        t.record_blocked(node, op, out_vc as usize, BlockCause::LostArbitration);
+                    }
                 }
             }
         }
         self.active = active;
     }
 
-    fn commit(&mut self, t: Transfer) {
+    fn commit(&mut self, t: Transfer, tel: Option<&mut NetTelemetry>) {
         let np = self.ports.len();
+        if let Some(tel) = tel {
+            tel.record_traversal(t.node, t.out_port, t.out_vc);
+        }
         let flit = self.routers[t.node].inputs[t.in_port].vcs[t.in_vc]
             .pop()
             .expect("planned transfer has a flit");
@@ -811,7 +1047,7 @@ mod tests {
             Coord::new(0, 0),
             Coord::new(1, 1),
         );
-        assert_eq!(net.stats().ejected, 1);
+        assert_eq!(net.snapshot().ejected, 1);
     }
 
     #[test]
@@ -984,14 +1220,14 @@ mod tests {
             // Everything injected must eventually drain: no deadlock, no
             // loss, no duplication.
             let mut guard = 0;
-            while net.stats().ejected < sent {
+            while net.snapshot().ejected < sent {
                 net.step();
                 guard += 1;
                 assert!(guard < 20_000, "{label}: drain stalled");
             }
-            assert_eq!(net.stats().ejected, sent, "{label}");
-            assert_eq!(net.in_flight(), 0, "{label}");
-            assert_eq!(net.queued(), 0, "{label}");
+            let snap = net.snapshot();
+            assert_eq!(snap.ejected, sent, "{label}");
+            assert!(snap.is_idle(), "{label}: {snap:?}");
         }
     }
 
@@ -1005,9 +1241,20 @@ mod tests {
             Flit::single(src, Dest::tile(Coord::new(3, 0)), 0, 0),
         );
         net.run(20);
-        let total: u64 = net.traversals().iter().sum();
+        let loads = net.link_loads();
+        let total: u64 = loads.raw().iter().sum();
         // 3 E hops + 1 ejection.
         assert_eq!(total, 4);
+        let east: u64 = loads
+            .iter()
+            .filter(|&(_, d, _)| d == Dir::E)
+            .map(|(_, _, n)| n)
+            .sum();
+        assert_eq!(east, 3);
+        assert_eq!(
+            loads.count(0, loads.ports().iter().position(|&d| d == Dir::E).unwrap()),
+            1
+        );
     }
 
     #[test]
@@ -1045,7 +1292,7 @@ mod tests {
                 net.enqueue(ep, Flit::single(src, Dest::tile(dst), i, 0));
             }
             let mut cycles = 0u64;
-            while net.stats().ejected < 100 {
+            while net.snapshot().ejected < 100 {
                 net.step();
                 cycles += 1;
                 assert!(cycles < 5_000);
@@ -1090,12 +1337,12 @@ mod tests {
                 net.step();
             }
             let mut guard = 0;
-            while net.stats().ejected < sent {
+            while net.snapshot().ejected < sent {
                 net.step();
                 guard += 1;
                 assert!(guard < 30_000, "{label}: drain stalled");
             }
-            assert_eq!(net.in_flight(), 0, "{label}");
+            assert_eq!(net.snapshot().in_flight, 0, "{label}");
         }
     }
 
@@ -1104,6 +1351,6 @@ mod tests {
         let cfg = NetworkConfig::mesh(Dims::new(4, 4));
         let mut net = Network::new(cfg).unwrap();
         net.run(10);
-        assert!(net.cycles_since_progress() >= 10);
+        assert!(net.snapshot().cycles_since_progress >= 10);
     }
 }

@@ -239,19 +239,33 @@ impl NetworkConfig {
     /// Default channel width used throughout the paper's area study.
     pub const DEFAULT_CHANNEL_BITS: u32 = 128;
 
-    /// Base configuration with paper defaults for a given topology.
-    pub fn new(dims: Dims, topology: TopologyKind) -> Self {
-        NetworkConfig {
-            dims,
-            topology,
-            scheme: CrossbarScheme::Depopulated,
-            dor: DorOrder::XY,
-            fifo_depth: Self::DEFAULT_FIFO_DEPTH,
-            channel_width_bits: Self::DEFAULT_CHANNEL_BITS,
-            edge_memory_ports: false,
-            pipeline_stages: 0,
-            edge_bidirectional: false,
+    /// Starts a [`NetworkConfigBuilder`] with paper defaults for a given
+    /// topology. Prefer this over field twiddling: the builder's
+    /// [`build`](NetworkConfigBuilder::build) validates eagerly, so a bad
+    /// combination fails where it is written, not when a `Network` is
+    /// constructed from it later.
+    pub fn builder(dims: Dims, topology: TopologyKind) -> NetworkConfigBuilder {
+        NetworkConfigBuilder {
+            cfg: NetworkConfig {
+                dims,
+                topology,
+                scheme: CrossbarScheme::Depopulated,
+                dor: DorOrder::XY,
+                fifo_depth: Self::DEFAULT_FIFO_DEPTH,
+                channel_width_bits: Self::DEFAULT_CHANNEL_BITS,
+                edge_memory_ports: false,
+                pipeline_stages: 0,
+                edge_bidirectional: false,
+            },
         }
+    }
+
+    /// Base configuration with paper defaults for a given topology.
+    ///
+    /// Infallible and unvalidated — [`NetworkConfig::validate`] (or the
+    /// builder path) decides whether the combination is legal.
+    pub fn new(dims: Dims, topology: TopologyKind) -> Self {
+        Self::builder(dims, topology).build_unvalidated()
     }
 
     /// Plain 2-D mesh.
@@ -276,22 +290,22 @@ impl NetworkConfig {
 
     /// Full Ruche with the given Ruche Factor and crossbar scheme.
     pub fn full_ruche(dims: Dims, rf: u16, scheme: CrossbarScheme) -> Self {
-        let mut cfg = Self::new(
+        Self::builder(
             dims,
             TopologyKind::Ruche {
                 rf,
                 axes: Axes::Both,
             },
-        );
-        cfg.scheme = scheme;
-        cfg
+        )
+        .scheme(scheme)
+        .build_unvalidated()
     }
 
     /// Half Ruche (X-axis Ruche channels) with the given factor and scheme.
     pub fn half_ruche(dims: Dims, rf: u16, scheme: CrossbarScheme) -> Self {
-        let mut cfg = Self::new(dims, TopologyKind::Ruche { rf, axes: Axes::X });
-        cfg.scheme = scheme;
-        cfg
+        Self::builder(dims, TopologyKind::Ruche { rf, axes: Axes::X })
+            .scheme(scheme)
+            .build_unvalidated()
     }
 
     /// Ruche-One: `RF = 1`, fully populated, parity-balanced routing.
@@ -300,27 +314,31 @@ impl NetworkConfig {
     }
 
     /// Sets the DOR order (builder style).
-    pub fn with_dor(mut self, dor: DorOrder) -> Self {
-        self.dor = dor;
-        self
+    pub fn with_dor(self, dor: DorOrder) -> Self {
+        NetworkConfigBuilder::from(self)
+            .dor(dor)
+            .build_unvalidated()
     }
 
     /// Enables edge memory endpoints (builder style).
-    pub fn with_edge_memory_ports(mut self) -> Self {
-        self.edge_memory_ports = true;
-        self
+    pub fn with_edge_memory_ports(self) -> Self {
+        NetworkConfigBuilder::from(self)
+            .edge_memory_ports(true)
+            .build_unvalidated()
     }
 
     /// Sets the input FIFO depth (builder style).
-    pub fn with_fifo_depth(mut self, depth: usize) -> Self {
-        self.fifo_depth = depth;
-        self
+    pub fn with_fifo_depth(self, depth: usize) -> Self {
+        NetworkConfigBuilder::from(self)
+            .fifo_depth(depth)
+            .build_unvalidated()
     }
 
     /// Sets extra per-hop pipeline stages (builder style).
-    pub fn with_pipeline_stages(mut self, stages: u32) -> Self {
-        self.pipeline_stages = stages;
-        self
+    pub fn with_pipeline_stages(self, stages: u32) -> Self {
+        NetworkConfigBuilder::from(self)
+            .pipeline_stages(stages)
+            .build_unvalidated()
     }
 
     /// Report label in the paper's style, e.g. `ruche2-depop`, `torus`.
@@ -568,6 +586,114 @@ impl NetworkConfig {
             }
         }
         max
+    }
+}
+
+/// Eagerly-validated builder for [`NetworkConfig`] — the single
+/// construction path behind every named constructor and `with_*` shim.
+///
+/// [`build`](NetworkConfigBuilder::build) runs [`NetworkConfig::validate`]
+/// (the same check [`crate::sim::Network::new`] and the `ruche-verify`
+/// lints use), so an inconsistent configuration fails at the construction
+/// site with a typed [`ConfigError`].
+///
+/// # Examples
+///
+/// ```
+/// use ruche_noc::prelude::*;
+/// use ruche_noc::geometry::Axes;
+///
+/// let cfg = NetworkConfig::builder(
+///     Dims::new(16, 8),
+///     TopologyKind::Ruche { rf: 2, axes: Axes::X },
+/// )
+/// .scheme(CrossbarScheme::Depopulated)
+/// .edge_memory_ports(true)
+/// .build()?;
+/// assert_eq!(cfg.label(), "half-ruche2-depop");
+///
+/// // An illegal combination fails at build time, not when the Network is
+/// // instantiated much later.
+/// let err = NetworkConfig::builder(
+///     Dims::new(4, 4),
+///     TopologyKind::Ruche { rf: 9, axes: Axes::Both },
+/// )
+/// .build()
+/// .unwrap_err();
+/// assert!(matches!(err, ruche_noc::topology::ConfigError::RucheFactorTooLarge { .. }));
+/// # Ok::<(), ruche_noc::topology::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetworkConfigBuilder {
+    cfg: NetworkConfig,
+}
+
+impl NetworkConfigBuilder {
+    /// Sets the crossbar population scheme.
+    pub fn scheme(mut self, scheme: CrossbarScheme) -> Self {
+        self.cfg.scheme = scheme;
+        self
+    }
+
+    /// Sets the DOR order.
+    pub fn dor(mut self, dor: DorOrder) -> Self {
+        self.cfg.dor = dor;
+        self
+    }
+
+    /// Sets the input FIFO depth in flits (per VC for torus routers).
+    pub fn fifo_depth(mut self, depth: usize) -> Self {
+        self.cfg.fifo_depth = depth;
+        self
+    }
+
+    /// Sets the channel width in bits (physical models only).
+    pub fn channel_width_bits(mut self, bits: u32) -> Self {
+        self.cfg.channel_width_bits = bits;
+        self
+    }
+
+    /// Attaches memory endpoints to the free N/S edge ports.
+    pub fn edge_memory_ports(mut self, on: bool) -> Self {
+        self.cfg.edge_memory_ports = on;
+        self
+    }
+
+    /// Sets extra pipeline stages per hop.
+    pub fn pipeline_stages(mut self, stages: u32) -> Self {
+        self.cfg.pipeline_stages = stages;
+        self
+    }
+
+    /// Implements edge-router crossbar turns for both traffic directions.
+    pub fn edge_bidirectional(mut self, on: bool) -> Self {
+        self.cfg.edge_bidirectional = on;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ConfigError`] for the first violated constraint, as
+    /// [`NetworkConfig::validate`] would.
+    pub fn build(self) -> Result<NetworkConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+
+    /// Returns the configuration without validating — the escape hatch the
+    /// infallible legacy constructors use, and useful in tests that
+    /// deliberately build broken configurations.
+    pub fn build_unvalidated(self) -> NetworkConfig {
+        self.cfg
+    }
+}
+
+impl From<NetworkConfig> for NetworkConfigBuilder {
+    /// Reopens an existing configuration for further tweaking.
+    fn from(cfg: NetworkConfig) -> Self {
+        NetworkConfigBuilder { cfg }
     }
 }
 
@@ -991,6 +1117,89 @@ mod tests {
         assert_eq!(cfg.fifo_depth, 4);
         assert_eq!(cfg.dor, DorOrder::YX);
         assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_validates_eagerly() {
+        // Every eager ConfigError is reachable from the builder.
+        let b = |dims, topo| NetworkConfig::builder(dims, topo);
+        let ruche = |rf| TopologyKind::Ruche {
+            rf,
+            axes: Axes::Both,
+        };
+        assert_eq!(
+            b(Dims::new(8, 8), ruche(0)).build(),
+            Err(ConfigError::ZeroRucheFactor)
+        );
+        assert_eq!(
+            b(Dims::new(8, 8), ruche(1)).build(),
+            Err(ConfigError::RucheOneNeedsFullyPopulated)
+        );
+        assert!(matches!(
+            b(Dims::new(4, 4), ruche(4))
+                .scheme(CrossbarScheme::FullyPopulated)
+                .build(),
+            Err(ConfigError::RucheFactorTooLarge { .. })
+        ));
+        assert!(matches!(
+            b(Dims::new(2, 8), TopologyKind::Torus { axes: Axes::Both }).build(),
+            Err(ConfigError::TorusRingTooShort { .. })
+        ));
+        assert_eq!(
+            b(Dims::new(8, 8), TopologyKind::Torus { axes: Axes::Both })
+                .edge_memory_ports(true)
+                .build(),
+            Err(ConfigError::EdgePortsNeedOpenYAxis)
+        );
+        assert_eq!(
+            b(Dims::new(4, 4), TopologyKind::Mesh).fifo_depth(0).build(),
+            Err(ConfigError::ZeroFifoDepth)
+        );
+        assert_eq!(
+            b(Dims::new(1, 1), TopologyKind::Mesh).build(),
+            Err(ConfigError::SingleTile)
+        );
+    }
+
+    #[test]
+    fn builder_and_shims_agree() {
+        // The named constructors are shims over the builder: same output.
+        let d = Dims::new(16, 8);
+        let via_builder = NetworkConfig::builder(
+            d,
+            TopologyKind::Ruche {
+                rf: 3,
+                axes: Axes::X,
+            },
+        )
+        .scheme(CrossbarScheme::FullyPopulated)
+        .edge_memory_ports(true)
+        .pipeline_stages(1)
+        .fifo_depth(4)
+        .dor(DorOrder::YX)
+        .build()
+        .unwrap();
+        let via_shims = NetworkConfig::half_ruche(d, 3, CrossbarScheme::FullyPopulated)
+            .with_edge_memory_ports()
+            .with_pipeline_stages(1)
+            .with_fifo_depth(4)
+            .with_dor(DorOrder::YX);
+        assert_eq!(via_builder, via_shims);
+
+        // Reopening an existing config and changing nothing is lossless.
+        let round = NetworkConfigBuilder::from(via_builder.clone())
+            .build()
+            .unwrap();
+        assert_eq!(round, via_builder);
+
+        // All remaining builder knobs reach their fields.
+        let cfg = NetworkConfig::builder(d, TopologyKind::Mesh)
+            .channel_width_bits(64)
+            .edge_bidirectional(true)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.channel_width_bits, 64);
+        assert!(cfg.edge_bidirectional);
     }
 
     #[test]

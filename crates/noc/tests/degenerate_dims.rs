@@ -107,7 +107,7 @@ fn lines_deliver_packets_end_to_end() {
             net.tile_endpoint(src),
             Flit::single(src, Dest::tile(dst), 0, 0),
         );
-        while net.stats().ejected == 0 {
+        while net.snapshot().ejected == 0 {
             net.step();
             assert!(net.cycle() < 200, "{label} {dims}: packet stuck");
         }

@@ -1,0 +1,59 @@
+//! The deprecated probe methods are kept for one release as thin shims
+//! over [`Network::snapshot`] / [`Network::link_loads`]. This test is the
+//! only place allowed to call them: it pins down that each shim agrees
+//! with its replacement until the shims are removed.
+
+#![allow(deprecated)]
+
+use ruche_noc::packet::Flit;
+use ruche_noc::prelude::*;
+
+#[test]
+fn shims_agree_with_snapshot_and_link_loads() {
+    let dims = Dims::new(4, 4);
+    let mut net = Network::new(NetworkConfig::mesh(dims)).unwrap();
+    let mut id = 0;
+    for round in 0..20u64 {
+        for c in dims.iter() {
+            let d = Coord::new(dims.cols - 1 - c.x, dims.rows - 1 - c.y);
+            if d != c {
+                net.enqueue(
+                    net.tile_endpoint(c),
+                    Flit::single(c, Dest::tile(d), id, round),
+                );
+                id += 1;
+            }
+        }
+        net.step();
+
+        // Mid-flight, every shim matches the snapshot taken in the same
+        // cycle.
+        let s = net.snapshot();
+        assert_eq!(s.version, NetSnapshot::VERSION);
+        assert_eq!(net.in_flight(), s.in_flight);
+        assert_eq!(net.queued(), s.queued);
+        assert_eq!(net.cycles_since_progress(), s.cycles_since_progress);
+        let stats = net.stats();
+        assert_eq!(stats.injected, s.injected);
+        assert_eq!(stats.ejected, s.ejected);
+    }
+
+    let mut guard = 0;
+    while !net.snapshot().is_idle() {
+        net.step();
+        guard += 1;
+        assert!(guard < 50_000, "drain stalled");
+    }
+
+    // The raw traversal slice and the structured link loads are two views
+    // of the same counters.
+    let flat: Vec<u64> = net.traversals().to_vec();
+    let loads = net.link_loads();
+    assert_eq!(loads.raw(), &flat[..]);
+    let np = loads.ports().len();
+    for (i, &n) in flat.iter().enumerate() {
+        assert_eq!(loads.count(i / np, i % np), n);
+    }
+    let from_iter: u64 = loads.iter().map(|(_, _, n)| n).sum();
+    assert_eq!(from_iter, flat.iter().sum::<u64>());
+}

@@ -32,7 +32,7 @@ fn p_to_p_loopback_delivers() {
     assert_eq!(got[0].0, EndpointKind::Tile(c));
     assert!(net.cycle() <= 3, "loopback is immediate: {}", net.cycle());
     // No inter-router link was traversed: only the P output counts once.
-    assert_eq!(net.traversals().iter().sum::<u64>(), 1);
+    assert_eq!(net.link_loads().raw().iter().sum::<u64>(), 1);
 }
 
 #[test]
@@ -177,11 +177,10 @@ fn traversal_counters_split_by_direction() {
         Flit::single(s, Dest::tile(Coord::new(7, 1)), 0, 0),
     );
     net.run(40);
-    let ports = net.ports().to_vec();
     let mut by_dir = std::collections::HashMap::new();
-    for (slot, &n) in net.traversals().iter().enumerate() {
+    for (_, dir, n) in net.link_loads().iter() {
         if n > 0 {
-            *by_dir.entry(ports[slot % ports.len()]).or_insert(0u64) += n;
+            *by_dir.entry(dir).or_insert(0u64) += n;
         }
     }
     assert_eq!(by_dir.get(&Dir::RE), Some(&2)); // 7 = 2*3 + 1
@@ -245,10 +244,11 @@ fn saturated_network_keeps_conserving_flits() {
             }
             net.step();
         }
-        let remaining = id - net.stats().ejected;
+        let remaining = id - net.snapshot().ejected;
         let _ = drain(&mut net, remaining);
-        assert_eq!(net.stats().injected, id);
-        assert_eq!(net.stats().ejected, id);
-        assert_eq!(net.in_flight(), 0);
+        let snap = net.snapshot();
+        assert_eq!(snap.injected, id);
+        assert_eq!(snap.ejected, id);
+        assert_eq!(snap.in_flight, 0);
     }
 }

@@ -85,12 +85,12 @@ fn assert_steady_state_alloc_free(cfg: NetworkConfig, label: &str) {
         net.step();
         in_step += allocations() - before;
     }
-    while net.in_flight() > 0 || net.queued() > 0 {
+    while !net.snapshot().is_idle() {
         let before = allocations();
         net.step();
         in_step += allocations() - before;
         assert!(
-            net.cycles_since_progress() < 20_000,
+            net.snapshot().cycles_since_progress < 20_000,
             "{label}: drain stalled"
         );
     }

@@ -13,5 +13,5 @@ pub mod plot;
 pub mod report;
 
 pub use accum::{geomean, Accum, Samples};
-pub use plot::AsciiPlot;
+pub use plot::{AsciiPlot, Heatmap};
 pub use report::{fmt_f, Csv, Table};

@@ -134,9 +134,114 @@ impl AsciiPlot {
     }
 }
 
+/// A shaded ASCII heatmap over a 2-D grid of intensities — used for the
+/// per-router link-utilization maps in the telemetry reports and the
+/// `link_heatmap` example.
+///
+/// Cells are normalized against the grid maximum and rendered with a
+/// ten-step shade ramp, each cell two characters wide so the aspect ratio
+/// roughly matches a square tile array.
+///
+/// # Examples
+///
+/// ```
+/// use ruche_stats::Heatmap;
+///
+/// let h = Heatmap::new("demo", 2, 2, vec![0.0, 0.25, 0.5, 1.0]).unwrap();
+/// let s = h.render();
+/// assert!(s.starts_with("demo"));
+/// assert!(s.contains("@@"), "hottest cell uses the top shade");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Heatmap {
+    title: String,
+    cols: usize,
+    rows: usize,
+    cells: Vec<f64>,
+}
+
+impl Heatmap {
+    /// Shade ramp from cold to hot.
+    const SHADES: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+
+    /// Creates a heatmap over `cells`, row-major with `cols` columns.
+    /// Returns `None` unless `cells.len() == cols * rows` and both
+    /// dimensions are non-zero.
+    pub fn new(title: &str, cols: usize, rows: usize, cells: Vec<f64>) -> Option<Self> {
+        if cols == 0 || rows == 0 || cells.len() != cols * rows {
+            return None;
+        }
+        Some(Heatmap {
+            title: title.to_string(),
+            cols,
+            rows,
+            cells,
+        })
+    }
+
+    /// Grid width in cells.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Grid height in cells.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The hottest cell value (0 when all cells are non-positive).
+    pub fn max(&self) -> f64 {
+        self.cells.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Renders the shaded grid with a title line carrying the maximum, so
+    /// shades can be read back as absolute values.
+    pub fn render(&self) -> String {
+        let max = self.max().max(1e-9);
+        let mut out = format!("{} (max {:.3})\n", self.title, self.max());
+        for y in 0..self.rows {
+            out.push_str("  ");
+            for x in 0..self.cols {
+                let v = (self.cells[y * self.cols + x] / max).clamp(0.0, 1.0);
+                let idx = ((v * (Self::SHADES.len() - 1) as f64).round() as usize)
+                    .min(Self::SHADES.len() - 1);
+                out.push(Self::SHADES[idx]);
+                out.push(Self::SHADES[idx]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn heatmap_shades_by_relative_intensity() {
+        let h = Heatmap::new("t", 3, 1, vec![0.0, 0.5, 1.0]).unwrap();
+        let s = h.render();
+        assert_eq!(h.cols(), 3);
+        assert_eq!(h.rows(), 1);
+        assert_eq!(h.max(), 1.0);
+        let row = s.lines().nth(1).unwrap();
+        assert_eq!(row, "    ++@@", "{s}");
+        assert!(s.starts_with("t (max 1.000)"));
+    }
+
+    #[test]
+    fn heatmap_rejects_shape_mismatch() {
+        assert!(Heatmap::new("t", 2, 2, vec![0.0; 3]).is_none());
+        assert!(Heatmap::new("t", 0, 2, vec![]).is_none());
+    }
+
+    #[test]
+    fn all_zero_heatmap_renders_blank() {
+        let h = Heatmap::new("t", 2, 1, vec![0.0, 0.0]).unwrap();
+        let row = h.render().lines().nth(1).unwrap().to_string();
+        assert_eq!(row.trim(), "");
+    }
 
     #[test]
     fn renders_points_and_legend() {

@@ -1,0 +1,371 @@
+//! A minimal deterministic JSON value model, writer, and parser.
+//!
+//! Telemetry blobs must be byte-identical across runs and platforms, so the
+//! codec is intentionally narrow: objects, arrays, strings (no escapes
+//! beyond `\"` and `\\`), and unsigned 64-bit integers. Keys are written in
+//! the order the caller supplies them; [`crate::JsonProbe`] supplies them
+//! sorted.
+
+use std::fmt;
+
+/// A JSON value in the subset the telemetry codec uses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Json {
+    /// An unsigned integer (the only number kind telemetry emits).
+    U64(u64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; pairs keep the order they were inserted in.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// The value under `key` if this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The integer value, if this is a number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::U64(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Decodes an array of integers under `key` of an object.
+    pub fn u64_array(&self, key: &str) -> Option<Vec<u64>> {
+        self.get(key)?.as_arr()?.iter().map(Json::as_u64).collect()
+    }
+
+    /// Renders the value as compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::U64(n) => {
+                use fmt::Write;
+                write!(out, "{n}").expect("write to String");
+            }
+            Json::Str(s) => write_str(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Builds an array of integers.
+pub fn u64_array(vals: &[u64]) -> Json {
+    Json::Arr(vals.iter().map(|&v| Json::U64(v)).collect())
+}
+
+/// Errors from [`parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// What the parser expected.
+    pub expected: &'static str,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid JSON at byte {}: expected {}",
+            self.at, self.expected
+        )
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses a string in the telemetry JSON subset.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] locating the first byte that does not fit the
+/// subset grammar (including trailing garbage after the value).
+pub fn parse(s: &str) -> Result<Json, JsonError> {
+    let bytes = s.as_bytes();
+    let mut pos = 0;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(JsonError {
+            at: pos,
+            expected: "end of input",
+        });
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_obj(b, pos),
+        Some(b'[') => parse_arr(b, pos),
+        Some(b'"') => Ok(Json::Str(parse_str(b, pos)?)),
+        Some(c) if c.is_ascii_digit() => parse_num(b, pos),
+        _ => Err(JsonError {
+            at: *pos,
+            expected: "a value",
+        }),
+    }
+}
+
+fn parse_num(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    let mut n: u64 = 0;
+    while let Some(c) = b.get(*pos).filter(|c| c.is_ascii_digit()) {
+        n = n
+            .checked_mul(10)
+            .and_then(|n| n.checked_add((c - b'0') as u64))
+            .ok_or(JsonError {
+                at: start,
+                expected: "an integer fitting u64",
+            })?;
+        *pos += 1;
+    }
+    Ok(Json::U64(n))
+}
+
+fn parse_str(b: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    debug_assert_eq!(b.get(*pos), Some(&b'"'));
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    _ => {
+                        return Err(JsonError {
+                            at: *pos,
+                            expected: "an escaped quote or backslash",
+                        })
+                    }
+                }
+                *pos += 1;
+            }
+            Some(&c) => {
+                // Multi-byte UTF-8 sequences pass through byte by byte;
+                // the input came from a &str, so they reassemble validly.
+                let len = utf8_len(c);
+                let end = *pos + len;
+                let chunk = b.get(*pos..end).ok_or(JsonError {
+                    at: *pos,
+                    expected: "a complete UTF-8 sequence",
+                })?;
+                out.push_str(std::str::from_utf8(chunk).map_err(|_| JsonError {
+                    at: *pos,
+                    expected: "valid UTF-8",
+                })?);
+                *pos = end;
+            }
+            None => {
+                return Err(JsonError {
+                    at: *pos,
+                    expected: "a closing quote",
+                })
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => {
+                return Err(JsonError {
+                    at: *pos,
+                    expected: "',' or ']'",
+                })
+            }
+        }
+    }
+}
+
+fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    *pos += 1; // '{'
+    let mut pairs = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(pairs));
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(JsonError {
+                at: *pos,
+                expected: "a key string",
+            });
+        }
+        let key = parse_str(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(JsonError {
+                at: *pos,
+                expected: "':'",
+            });
+        }
+        *pos += 1;
+        let val = parse_value(b, pos)?;
+        pairs.push((key, val));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            _ => {
+                return Err(JsonError {
+                    at: *pos,
+                    expected: "',' or '}'",
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_nested_value() {
+        let v = Json::Obj(vec![
+            ("a".into(), Json::U64(7)),
+            ("b".into(), u64_array(&[1, 2, 3])),
+            (
+                "c".into(),
+                Json::Obj(vec![("s".into(), Json::Str("x\"y\\z".into()))]),
+            ),
+            ("empty".into(), Json::Arr(vec![])),
+        ]);
+        let s = v.render();
+        assert_eq!(parse(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn rendering_is_compact_and_ordered() {
+        let v = Json::Obj(vec![("b".into(), Json::U64(1)), ("a".into(), Json::U64(2))]);
+        assert_eq!(v.render(), r#"{"b":1,"a":2}"#);
+    }
+
+    #[test]
+    fn parses_whitespace_tolerant() {
+        let v = parse(" { \"k\" : [ 1 , 2 ] } ").unwrap();
+        assert_eq!(v.u64_array("k"), Some(vec![1, 2]));
+    }
+
+    #[test]
+    fn u64_max_roundtrips_exactly() {
+        let s = Json::U64(u64::MAX).render();
+        assert_eq!(parse(&s).unwrap().as_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn rejects_overflow_and_garbage() {
+        assert!(parse("18446744073709551616").is_err()); // u64::MAX + 1
+        assert!(parse("{\"a\":1} trailing").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("-1").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let v = parse(r#"{"n":3,"arr":[1],"s":"hi"}"#).unwrap();
+        assert_eq!(v.get("n").and_then(Json::as_u64), Some(3));
+        assert_eq!(v.get("missing"), None);
+        assert!(v.get("arr").unwrap().as_arr().is_some());
+        assert_eq!(v.get("s").unwrap().as_u64(), None);
+    }
+}

@@ -23,5 +23,6 @@ pub mod testbench;
 
 pub use pattern::{Pattern, PatternError};
 pub use testbench::{
-    latency_curve, run, saturation_throughput, zero_load_latency, CurvePoint, TbResult, Testbench,
+    latency_curve, run, run_probed, saturation_throughput, zero_load_latency, CurvePoint, TbResult,
+    Testbench,
 };

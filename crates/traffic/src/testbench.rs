@@ -99,6 +99,34 @@ pub struct TbResult {
 /// configuration is invalid, or if the pattern needs edge ports the
 /// configuration lacks.
 pub fn run(cfg: &NetworkConfig, tb: &Testbench) -> Result<TbResult, PatternError> {
+    run_inner(cfg, tb, None).map(|(res, _)| res)
+}
+
+/// Like [`run`], with [`NetTelemetry`] attached to the network for the
+/// whole run (warmup included). `window` is the injection/ejection
+/// time-series bin width in cycles. The simulation is identical to
+/// [`run`]'s — telemetry observes, it does not perturb.
+///
+/// # Errors
+///
+/// Returns a [`PatternError`] exactly as [`run`] does.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run`].
+pub fn run_probed(
+    cfg: &NetworkConfig,
+    tb: &Testbench,
+    window: u64,
+) -> Result<(TbResult, Box<NetTelemetry>), PatternError> {
+    run_inner(cfg, tb, Some(window)).map(|(res, tel)| (res, tel.expect("telemetry was attached")))
+}
+
+fn run_inner(
+    cfg: &NetworkConfig,
+    tb: &Testbench,
+    telemetry_window: Option<u64>,
+) -> Result<(TbResult, Option<Box<NetTelemetry>>), PatternError> {
     assert!(
         (0.0..=1.0).contains(&tb.injection_rate),
         "injection rate must be in [0, 1]"
@@ -111,6 +139,9 @@ pub fn run(cfg: &NetworkConfig, tb: &Testbench) -> Result<TbResult, PatternError
     let dims = cfg.dims;
     let n_tiles = dims.count() as u64;
     let mut net = Network::new(cfg).expect("valid network config");
+    if let Some(window) = telemetry_window {
+        net.attach_telemetry(window);
+    }
     let mut rng = SmallRng::seed_from_u64(tb.seed);
 
     let inject_until = tb.warmup + tb.measure;
@@ -165,18 +196,21 @@ pub fn run(cfg: &NetworkConfig, tb: &Testbench) -> Result<TbResult, PatternError
     let offered = tb.injection_rate * tb.packet_len as f64;
     let lost = expected - delivered;
     let mut samples = lat;
-    Ok(TbResult {
-        offered,
-        accepted,
-        avg_latency: samples.mean(),
-        p99_latency: samples.quantile(0.99).unwrap_or(0.0),
-        delivered,
-        lost,
-        per_tile_latency: per_tile,
-        // The absolute slack keeps Bernoulli sampling noise at very low
-        // rates from reading as saturation.
-        saturated: lost > 0 || accepted < 0.95 * offered - 0.005,
-    })
+    Ok((
+        TbResult {
+            offered,
+            accepted,
+            avg_latency: samples.mean(),
+            p99_latency: samples.quantile(0.99).unwrap_or(0.0),
+            delivered,
+            lost,
+            per_tile_latency: per_tile,
+            // The absolute slack keeps Bernoulli sampling noise at very low
+            // rates from reading as saturation.
+            saturated: lost > 0 || accepted < 0.95 * offered - 0.005,
+        },
+        net.detach_telemetry(),
+    ))
 }
 
 /// Mean latency at (near-)zero load: a low-rate run whose latency is the
@@ -362,6 +396,37 @@ mod tests {
         let b = run(&cfg, &quick(Pattern::UniformRandom, 0.2)).unwrap();
         assert_eq!(a.avg_latency, b.avg_latency);
         assert_eq!(a.accepted, b.accepted);
+    }
+
+    #[test]
+    fn probed_run_matches_plain_run() {
+        let cfg = NetworkConfig::mesh(Dims::new(8, 8));
+        let tb = quick(Pattern::UniformRandom, 0.2);
+        let plain = run(&cfg, &tb).unwrap();
+        let (probed, tel) = run_probed(&cfg, &tb, 64).unwrap();
+        assert_eq!(plain.avg_latency, probed.avg_latency);
+        assert_eq!(plain.accepted, probed.accepted);
+        assert_eq!(plain.delivered, probed.delivered);
+        // The telemetry observed the whole run, including the drain tail.
+        assert!(tel.cycles() >= tb.warmup + tb.measure);
+        assert!(tel.ejected().total() >= probed.delivered);
+        assert!(tel.injected().total() >= tel.ejected().total());
+    }
+
+    #[test]
+    fn two_identical_seeded_runs_export_identical_telemetry() {
+        let blob = |seed: u64| {
+            let cfg = NetworkConfig::mesh(Dims::new(8, 8));
+            let tb = quick(Pattern::UniformRandom, 0.2).with_seed(seed);
+            let (_, tel) = run_probed(&cfg, &tb, 64).unwrap();
+            let mut p = ruche_telemetry::JsonProbe::new();
+            tel.export(&mut p);
+            p.into_json()
+        };
+        let a = blob(11);
+        assert_eq!(a, blob(11), "same seed, same bytes");
+        assert!(a.contains("\"link.E.vc0.traversed\""), "{a}");
+        assert_ne!(a, blob(12), "different seed, different telemetry");
     }
 
     #[test]

@@ -12,6 +12,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use ruche::noc::packet::Flit;
 use ruche::noc::prelude::*;
+use ruche::stats::Heatmap;
 
 fn utilization_grid(cfg: NetworkConfig, rate: f64, cycles: u64) -> (Vec<f64>, String) {
     let dims = cfg.dims;
@@ -36,31 +37,25 @@ fn utilization_grid(cfg: NetworkConfig, rate: f64, cycles: u64) -> (Vec<f64>, St
     }
     // Per-router flits forwarded on X-axis channels (local + Ruche), as a
     // fraction of cycles.
-    let ports = net.ports().to_vec();
     let mut grid = vec![0.0f64; dims.count()];
-    for (slot, &count) in net.traversals().iter().enumerate() {
-        let dir = ports[slot % ports.len()];
+    for (node, dir, count) in net.link_loads().iter() {
         if dir.axis() == Some(Axis::X) {
-            grid[slot / ports.len()] += count as f64 / cycles as f64;
+            grid[node] += count as f64 / cycles as f64;
         }
     }
     (grid, label)
 }
 
 fn render(dims: Dims, grid: &[f64], label: &str) {
-    let max = grid.iter().cloned().fold(f64::MIN, f64::max).max(1e-9);
-    let shades = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
-    println!("\n{label}: X-channel utilization per router (max {max:.2} flits/cycle)");
-    for y in 0..dims.rows {
-        let mut line = String::new();
-        for x in 0..dims.cols {
-            let v = grid[dims.index(Coord::new(x, y))] / max;
-            let idx = ((v * (shades.len() - 1) as f64).round() as usize).min(shades.len() - 1);
-            line.push(shades[idx]);
-            line.push(shades[idx]);
-        }
-        println!("  {line}");
-    }
+    let title = format!("\n{label}: X-channel utilization per router, flits/cycle");
+    let map = Heatmap::new(
+        &title,
+        dims.cols as usize,
+        dims.rows as usize,
+        grid.to_vec(),
+    )
+    .expect("grid matches dims");
+    print!("{}", map.render());
 }
 
 fn main() {

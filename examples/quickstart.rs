@@ -19,7 +19,7 @@ fn main() {
         net.tile_endpoint(src),
         ruche::noc::packet::Flit::single(src, Dest::tile(dst), 0, 0),
     );
-    while net.stats().ejected == 0 {
+    while net.snapshot().ejected == 0 {
         net.step();
     }
     println!(

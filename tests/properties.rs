@@ -189,7 +189,7 @@ proptest! {
             guard += 1;
             prop_assert!(guard < 60_000, "deadlock: {} of {} drained", drained, sent);
         }
-        prop_assert_eq!(net.in_flight(), 0);
+        prop_assert_eq!(net.snapshot().in_flight, 0);
         let empty: Vec<u64> = vec![];
         for (pair, ids) in &expected {
             prop_assert_eq!(seen.get(pair).unwrap_or(&empty), ids, "in-order for {:?}", pair);
@@ -219,7 +219,7 @@ proptest! {
             net.step();
         }
         let mut guard = 0;
-        while net.stats().ejected < sent {
+        while net.snapshot().ejected < sent {
             net.step();
             guard += 1;
             prop_assert!(guard < 60_000, "drain stalled");
@@ -227,7 +227,7 @@ proptest! {
         // Two idle cycles settle in-flight credit returns.
         net.step();
         net.step();
-        prop_assert_eq!(net.in_flight(), 0);
+        prop_assert_eq!(net.snapshot().in_flight, 0);
         let _ = depth;
     }
 
