@@ -17,6 +17,12 @@ fn main() {
     if opts.verify_only {
         return;
     }
+    // The degradation sweep is its own mode: fault tolerance is orthogonal
+    // to the paper's figures, and CI runs it as a separate job.
+    if opts.degradation {
+        ruche_bench::degradation::run(opts);
+        return;
+    }
     figures::table1::run(opts);
     figures::fig6::run(opts);
     figures::fig7::run(opts);

@@ -27,7 +27,11 @@ fn main() {
         Pattern::Tornado,
     ] {
         for cfg in ruche_bench::figures::fig6::configs(dims) {
-            let proto = Testbench::new(pattern, 0.0).quick();
+            // The proto's rate is never run — curve_jobs replaces it.
+            let proto = Testbench::builder(pattern, 1.0)
+                .quick()
+                .build()
+                .expect("smoke testbench is valid");
             jobs.extend(sweep::curve_jobs(&cfg, &proto, &rates));
         }
     }

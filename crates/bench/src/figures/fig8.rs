@@ -27,14 +27,14 @@ pub fn run(opts: Opts) {
         "fairness: distribution of per-tile mean latency, 16x16 uniform random, low load",
     );
     let dims = Dims::new(16, 16);
-    let mut tb = Testbench::new(Pattern::UniformRandom, 0.02);
-    if opts.quick {
-        tb = tb.quick();
+    let b = Testbench::builder(Pattern::UniformRandom, 0.02);
+    let tb = if opts.quick {
+        b.quick()
     } else {
-        tb.measure = 8_000;
-        tb.warmup = 1_000;
-        tb.drain = 2_000;
+        b.warmup(1_000).measure(8_000).drain(2_000)
     }
+    .build()
+    .expect("figure testbench is valid");
     // Per-tile jobs bypass the sweep cache (it stores scalar aggregates)
     // but still fan out across the worker pool.
     let jobs: Vec<SweepJob> = configs(dims)

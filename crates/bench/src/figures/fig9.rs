@@ -49,11 +49,12 @@ pub fn run(opts: Opts) {
         for pattern in [Pattern::UniformRandom, Pattern::TileToMemory] {
             for mut cfg in configs(dims) {
                 cfg.edge_memory_ports = true;
-                let proto = if opts.quick {
-                    Testbench::new(pattern, 0.0).quick()
-                } else {
-                    Testbench::new(pattern, 0.0)
-                };
+                // The proto's own rate is never run — curve_jobs replaces
+                // it with each sweep rate.
+                let b = Testbench::builder(pattern, 1.0);
+                let proto = if opts.quick { b.quick() } else { b }
+                    .build()
+                    .expect("figure testbench is valid");
                 jobs.extend(sweep::curve_jobs(&cfg, &proto, &rates));
                 jobs.push(sweep::saturation_job(&cfg, pattern, 3));
             }

@@ -26,6 +26,7 @@
 //! earlier runs. Pass `--quick` (or set `RUCHE_QUICK=1`) for a reduced
 //! sweep.
 
+pub mod degradation;
 pub mod figures;
 pub mod opts;
 pub mod out;

@@ -18,6 +18,10 @@ pub struct Opts {
     /// synthetic-traffic figure and write the JSON blobs under `results/`
     /// (`--telemetry` or `RUCHE_TELEMETRY=1`).
     pub telemetry: bool,
+    /// Run the graceful-degradation fault sweep instead of the figure
+    /// suite, writing `results/BENCH_degradation.json` (`--degradation` or
+    /// `RUCHE_DEGRADATION=1`).
+    pub degradation: bool,
 }
 
 /// The machine's available parallelism (1 if it can't be queried).
@@ -59,6 +63,7 @@ impl Opts {
             no_cache: flag("--no-cache", "RUCHE_NO_CACHE"),
             verify_only: flag("--verify-only", "RUCHE_VERIFY_ONLY"),
             telemetry: flag("--telemetry", "RUCHE_TELEMETRY"),
+            degradation: flag("--degradation", "RUCHE_DEGRADATION"),
         }
     }
 
@@ -70,6 +75,7 @@ impl Opts {
             no_cache: false,
             verify_only: false,
             telemetry: false,
+            degradation: false,
         }
     }
 
@@ -157,6 +163,15 @@ mod tests {
         assert!(Opts::parse(&strs(&["bench"]), env).telemetry);
         assert!(!Opts::parse(&strs(&["bench"]), NO_ENV).telemetry);
         assert!(!Opts::full().telemetry);
+    }
+
+    #[test]
+    fn parses_degradation() {
+        assert!(Opts::parse(&strs(&["bench", "--degradation"]), NO_ENV).degradation);
+        let env = |k: &str| (k == "RUCHE_DEGRADATION").then(|| "1".to_string());
+        assert!(Opts::parse(&strs(&["bench"]), env).degradation);
+        assert!(!Opts::parse(&strs(&["bench"]), NO_ENV).degradation);
+        assert!(!Opts::full().degradation);
     }
 
     #[test]

@@ -83,7 +83,13 @@ pub fn curve_jobs(cfg: &NetworkConfig, proto: &Testbench, rates: &[f64]) -> Vec<
 /// The saturation-throughput job, mirroring
 /// `ruche_traffic::saturation_throughput` (rate 1.0; read `accepted`).
 pub fn saturation_job(cfg: &NetworkConfig, pattern: Pattern, seed: u64) -> SweepJob {
-    SweepJob::new(cfg.clone(), Testbench::new(pattern, 1.0).with_seed(seed))
+    SweepJob::new(
+        cfg.clone(),
+        Testbench::builder(pattern, 1.0)
+            .seed(seed)
+            .build()
+            .expect("saturation testbench is valid"),
+    )
 }
 
 /// The zero-load-latency job, mirroring `ruche_traffic::zero_load_latency`
@@ -91,11 +97,10 @@ pub fn saturation_job(cfg: &NetworkConfig, pattern: Pattern, seed: u64) -> Sweep
 pub fn zero_load_job(cfg: &NetworkConfig, pattern: Pattern, seed: u64) -> SweepJob {
     SweepJob::new(
         cfg.clone(),
-        Testbench {
-            injection_rate: 0.005,
-            ..Testbench::new(pattern, 0.0)
-        }
-        .with_seed(seed),
+        Testbench::builder(pattern, 0.005)
+            .seed(seed)
+            .build()
+            .expect("zero-load testbench is valid"),
     )
 }
 
@@ -334,7 +339,7 @@ fn run_pool(jobs: &[SweepJob], misses: &[usize], threads: usize) -> Vec<TbResult
                 let Some(&i) = misses.get(k) else { break };
                 let job = &jobs[i];
                 let res = ruche_traffic::run(&job.cfg, &job.tb)
-                    .unwrap_or_else(|e| panic!("sweep job {i} has an invalid pattern: {e:?}"));
+                    .unwrap_or_else(|e| panic!("sweep job {i} cannot run: {e}"));
                 *slots[k].lock().expect("slot lock") = Some(res);
             });
         }
@@ -355,7 +360,10 @@ mod tests {
     use ruche_noc::geometry::Dims;
 
     fn quick_tb(rate: f64) -> Testbench {
-        Testbench::new(Pattern::UniformRandom, rate).quick()
+        Testbench::builder(Pattern::UniformRandom, rate)
+            .quick()
+            .build()
+            .expect("test parameters are valid")
     }
 
     #[test]
@@ -366,7 +374,13 @@ mod tests {
         let b = SweepJob::new(NetworkConfig::torus(dims), tb.clone());
         let c = SweepJob::new(NetworkConfig::mesh(dims).with_fifo_depth(4), tb.clone());
         let d = SweepJob::new(NetworkConfig::mesh(dims), quick_tb(0.2));
-        let e = SweepJob::new(NetworkConfig::mesh(dims), tb.clone().with_seed(99));
+        let e = SweepJob::new(
+            NetworkConfig::mesh(dims),
+            ruche_traffic::TestbenchBuilder::from(tb.clone())
+                .seed(99)
+                .build()
+                .unwrap(),
+        );
         let keys = [a.key(), b.key(), c.key(), d.key(), e.key()];
         for (i, k) in keys.iter().enumerate() {
             for (j, l) in keys.iter().enumerate() {

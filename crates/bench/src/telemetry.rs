@@ -77,10 +77,10 @@ pub fn run(opts: Opts) {
     for c in captures() {
         let dims = c.cfg.dims;
         let label = c.cfg.label();
-        let mut tb = Testbench::new(c.pattern, c.rate);
-        if opts.quick {
-            tb = tb.quick();
-        }
+        let b = Testbench::builder(c.pattern, c.rate);
+        let tb = if opts.quick { b.quick() } else { b }
+            .build()
+            .expect("capture testbench is valid");
         let (res, tel) = run_probed(&c.cfg, &tb, WINDOW).expect("pattern fits the array");
 
         let mut probe = JsonProbe::new();

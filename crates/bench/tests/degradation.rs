@@ -1,0 +1,47 @@
+//! The degradation sweep is deterministic: the same fault seeds yield
+//! byte-identical `BENCH_degradation.json` content regardless of worker
+//! count, and the faulted points actually show displaced traffic.
+
+use ruche_bench::{degradation, Opts};
+
+#[test]
+fn same_fault_seeds_yield_byte_identical_degradation_json() {
+    let serial = degradation::render(Opts::quick().without_cache().with_threads(1));
+    let parallel = degradation::render(Opts::quick().without_cache().with_threads(4));
+    assert_eq!(
+        serial, parallel,
+        "degradation JSON must not depend on thread count or rerun"
+    );
+
+    // Sanity: the quick sweep covers all three topology families and the
+    // full fault-rate grid, and every sample passed static verification.
+    for label in ["mesh", "half-ruche2-depop", "ruche2-depop"] {
+        assert!(
+            serial.contains(&format!("\"label\": \"{label}\"")),
+            "{label}"
+        );
+    }
+    for rate in ["0.00", "0.05", "0.15"] {
+        assert!(
+            serial.contains(&format!("\"fault_rate\": {rate}")),
+            "{rate}"
+        );
+    }
+    assert!(serial.contains("\"verified\": true"));
+    assert!(!serial.contains("\"verified\": false"));
+
+    // Faulted Ruche points route surviving traffic over detours, and some
+    // of that displacement lands on the Ruche channels.
+    let ruche_sections: Vec<&str> = serial.split("\"label\": ").collect();
+    let full_ruche = ruche_sections
+        .iter()
+        .find(|s| s.starts_with("\"ruche2-depop\""))
+        .expect("full-ruche section present");
+    assert!(
+        full_ruche
+            .lines()
+            .filter(|l| l.trim_start().starts_with("\"detour_ruche_fraction\":"))
+            .any(|l| !l.contains(" 0.000000")),
+        "faulted full-ruche samples attribute some detour traffic to ruche channels"
+    );
+}

@@ -15,7 +15,11 @@ fn fig6_quick_rows(threads: usize) -> String {
     let pattern = Pattern::UniformRandom;
     let mut jobs = Vec::new();
     for cfg in fig6::configs(dims) {
-        let proto = Testbench::new(pattern, 0.0).quick();
+        // The proto's rate is never run — curve_jobs replaces it.
+        let proto = Testbench::builder(pattern, 1.0)
+            .quick()
+            .build()
+            .expect("smoke testbench is valid");
         jobs.extend(sweep::curve_jobs(&cfg, &proto, &rates));
     }
     let results = SweepRunner::uncached(threads).run_all(&jobs);

@@ -183,7 +183,12 @@ mod tests {
     fn round_robin_cycles_fairly() {
         let mut rr = RoundRobin::new(3);
         let all = [true, true, true];
-        let picks: Vec<_> = (0..6).map(|_| rr.pick_and_grant(&all).unwrap()).collect();
+        let picks: Vec<_> = (0..6)
+            .map(|_| {
+                rr.pick_and_grant(&all)
+                    .expect("a requesting input wins the grant")
+            })
+            .collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
     }
 
@@ -262,8 +267,14 @@ mod tests {
         let requests = vec![vec![true, false], vec![true, false]];
         let first = wf.allocate(&requests);
         let second = wf.allocate(&requests);
-        let w1 = first.iter().position(|g| g.is_some()).unwrap();
-        let w2 = second.iter().position(|g| g.is_some()).unwrap();
+        let w1 = first
+            .iter()
+            .position(|g| g.is_some())
+            .expect("contended output grants one winner");
+        let w2 = second
+            .iter()
+            .position(|g| g.is_some())
+            .expect("contended output grants one winner");
         assert_ne!(w1, w2, "contending inputs alternate");
     }
 

@@ -48,18 +48,29 @@ impl Connectivity {
             probe.edge_bidirectional
         );
         let memo = MEMO.get_or_init(|| Mutex::new(HashMap::new()));
-        if let Some(hit) = memo.lock().expect("memo lock").get(&key) {
+        if let Some(hit) = memo
+            .lock()
+            .expect("crossbar memo mutex is never poisoned")
+            .get(&key)
+        {
             return hit.clone();
         }
         let result = Self::derive(&probe);
-        memo.lock().expect("memo lock").insert(key, result.clone());
+        memo.lock()
+            .expect("crossbar memo mutex is never poisoned")
+            .insert(key, result.clone());
         result
     }
 
     /// Uncached enumeration over a probe network.
     fn derive(probe: &NetworkConfig) -> Self {
         let ports = probe.ports();
-        let idx = |d: Dir| ports.iter().position(|&p| p == d).expect("port in map");
+        let idx = |d: Dir| {
+            ports
+                .iter()
+                .position(|&p| p == d)
+                .expect("probed direction appears in the port list")
+        };
         let mut allowed = vec![vec![false; ports.len()]; ports.len()];
 
         let mut record = |path: &[(Coord, Dir)], entry_dir: Dir| {

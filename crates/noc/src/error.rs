@@ -1,0 +1,117 @@
+//! One error type for the workspace: every layer's typed error converts
+//! into [`Error`] via `From`, so binaries can use `?` end to end instead
+//! of pattern-matching per-crate enums.
+//!
+//! Downstream crates (e.g. `ruche-traffic`) fold their own error enums in
+//! through [`Error::other`], which boxes any `std::error::Error`.
+
+use crate::fault::FaultError;
+use crate::routing::RouteError;
+use crate::topology::ConfigError;
+use std::fmt;
+
+/// The workspace-wide error: a typed union of every layer's failure mode.
+///
+/// # Examples
+///
+/// ```
+/// use ruche_noc::prelude::*;
+///
+/// fn build(dims: Dims) -> Result<Network, ruche_noc::Error> {
+///     let cfg = NetworkConfig::builder(dims, TopologyKind::Mesh).build()?;
+///     Ok(Network::new(cfg)?)
+/// }
+/// assert!(build(Dims::new(4, 4)).is_ok());
+/// ```
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// A network configuration failed validation.
+    Config(ConfigError),
+    /// Routing failed (fell off the array, exceeded the hop bound, or a
+    /// faulted destination is unreachable).
+    Route(RouteError),
+    /// A fault model does not fit its configuration.
+    Fault(FaultError),
+    /// An error from a downstream layer (traffic patterns, testbenches),
+    /// folded in via [`Error::other`].
+    Other(Box<dyn std::error::Error + Send + Sync + 'static>),
+}
+
+impl Error {
+    /// Wraps any error from a downstream layer.
+    pub fn other(err: impl std::error::Error + Send + Sync + 'static) -> Self {
+        Error::Other(Box::new(err))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Config(e) => write!(f, "config: {e}"),
+            Error::Route(e) => write!(f, "route: {e}"),
+            Error::Fault(e) => write!(f, "fault: {e}"),
+            Error::Other(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Config(e) => Some(e),
+            Error::Route(e) => Some(e),
+            Error::Fault(e) => Some(e),
+            Error::Other(e) => Some(e.as_ref()),
+        }
+    }
+}
+
+impl From<ConfigError> for Error {
+    fn from(e: ConfigError) -> Self {
+        Error::Config(e)
+    }
+}
+
+impl From<RouteError> for Error {
+    fn from(e: RouteError) -> Self {
+        Error::Route(e)
+    }
+}
+
+impl From<FaultError> for Error {
+    fn from(e: FaultError) -> Self {
+        Error::Fault(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Coord;
+
+    #[test]
+    fn conversions_and_sources_line_up() {
+        let c: Error = ConfigError::ZeroFifoDepth.into();
+        let r: Error = RouteError::HopLimit { limit: 3 }.into();
+        let f: Error = FaultError::NoSuchRouter {
+            at: Coord::new(9, 9),
+        }
+        .into();
+        for e in [&c, &r, &f] {
+            assert!(std::error::Error::source(e).is_some());
+            assert!(!e.to_string().is_empty());
+        }
+        assert!(matches!(c, Error::Config(_)));
+        assert!(matches!(r, Error::Route(_)));
+        assert!(matches!(f, Error::Fault(_)));
+    }
+
+    #[test]
+    fn other_boxes_and_displays_transparently() {
+        let inner = ConfigError::SingleTile;
+        let e = Error::other(inner.clone());
+        assert_eq!(e.to_string(), inner.to_string());
+        assert!(matches!(e, Error::Other(_)));
+    }
+}

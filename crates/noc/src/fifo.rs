@@ -100,8 +100,8 @@ mod tests {
     #[test]
     fn push_pop_order() {
         let mut f = Fifo::new(3);
-        f.try_push("a").unwrap();
-        f.try_push("b").unwrap();
+        f.try_push("a").expect("fifo has free space");
+        f.try_push("b").expect("fifo has free space");
         assert_eq!(f.len(), 2);
         assert_eq!(f.head(), Some(&"a"));
         assert_eq!(f.pop(), Some("a"));
@@ -113,7 +113,7 @@ mod tests {
     #[test]
     fn full_rejects_and_returns_item() {
         let mut f = Fifo::new(1);
-        f.try_push(10).unwrap();
+        f.try_push(10).expect("fifo has free space");
         assert!(f.is_full());
         assert_eq!(f.free(), 0);
         assert_eq!(f.try_push(11), Err(11));
@@ -130,7 +130,7 @@ mod tests {
     fn iter_is_head_to_tail() {
         let mut f = Fifo::new(4);
         for i in 0..3 {
-            f.try_push(i).unwrap();
+            f.try_push(i).expect("fifo has free space");
         }
         assert_eq!(f.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2]);
     }

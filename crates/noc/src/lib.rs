@@ -45,6 +45,8 @@
 
 pub mod arbiter;
 pub mod crossbar;
+pub mod error;
+pub mod fault;
 pub mod fifo;
 pub mod geometry;
 pub mod packet;
@@ -54,9 +56,13 @@ pub mod sim;
 pub mod telemetry;
 pub mod topology;
 
+pub use crate::error::Error;
+
 /// Convenient re-exports of the most used types.
 pub mod prelude {
     pub use crate::crossbar::Connectivity;
+    pub use crate::error::Error;
+    pub use crate::fault::{FaultError, FaultModel, RouteTable};
     pub use crate::geometry::{Axes, Axis, Coord, Dims, Dir};
     pub use crate::packet::{Flit, FlitKind};
     pub use crate::routing::{

@@ -395,6 +395,12 @@ pub enum RouteError {
         /// The bound that was exceeded ([`NetworkConfig::max_route_hops`]).
         limit: usize,
     },
+    /// No surviving path reaches the destination: faults have partitioned
+    /// it away (see [`crate::fault`]).
+    Unreachable {
+        /// The partitioned destination.
+        dest: Dest,
+    },
 }
 
 impl fmt::Display for RouteError {
@@ -405,6 +411,9 @@ impl fmt::Display for RouteError {
             }
             RouteError::HopLimit { limit } => {
                 write!(f, "route did not terminate within {limit} hops")
+            }
+            RouteError::Unreachable { dest } => {
+                write!(f, "no surviving route reaches {dest:?}")
             }
         }
     }
@@ -725,7 +734,7 @@ mod tests {
             let worst = (0..k - 1)
                 .map(|x| hops(&cfg, (x, 0), (x + 1, 0)))
                 .max()
-                .unwrap();
+                .expect("torus rings have at least one neighbor pair");
             assert!(
                 worst >= (k / 2 - 1) as u32,
                 "k={k}: worst neighbor distance {worst}"
@@ -764,7 +773,9 @@ mod tests {
                         saw_vc1 = true;
                     }
                     prev_vc = dec.out_vc;
-                    here = cfg.neighbor(here, dec.out).unwrap();
+                    here = cfg
+                        .neighbor(here, dec.out)
+                        .expect("route decisions follow wired links");
                     in_dir = dec.out.opposite();
                     vc = dec.out_vc;
                 }
@@ -787,10 +798,16 @@ mod tests {
         let cfg = NetworkConfig::mesh(Dims::new(8, 4)).with_edge_memory_ports();
         let path = walk_route(&cfg, Coord::new(2, 2), Dest::north_edge(5));
         // X first to column 5, then Y to row 0, then exit N.
-        assert_eq!(path.last().unwrap(), &(Coord::new(5, 0), Dir::N));
+        assert_eq!(
+            path.last().expect("route is non-empty"),
+            &(Coord::new(5, 0), Dir::N)
+        );
         assert_eq!(path.len(), 3 + 2 + 1);
         let path = walk_route(&cfg, Coord::new(2, 2), Dest::south_edge(2, 4));
-        assert_eq!(path.last().unwrap(), &(Coord::new(2, 3), Dir::S));
+        assert_eq!(
+            path.last().expect("route is non-empty"),
+            &(Coord::new(2, 3), Dir::S)
+        );
     }
 
     #[test]
@@ -835,11 +852,16 @@ mod tests {
             NetworkConfig::half_ruche(dims, 3, Depopulated),
         ];
         for cfg in cfgs {
-            cfg.validate().unwrap();
+            cfg.validate().expect("paper-grid config is valid");
             for s in dims.iter() {
                 for d in dims.iter() {
                     let path = walk_route(&cfg, s, Dest::tile(d));
-                    assert_eq!(path.last().unwrap().1, Dir::P, "{} {s}->{d}", cfg.label());
+                    assert_eq!(
+                        path.last().expect("route is non-empty").1,
+                        Dir::P,
+                        "{} {s}->{d}",
+                        cfg.label()
+                    );
                 }
             }
         }

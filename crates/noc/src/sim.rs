@@ -14,6 +14,8 @@
 //! one-cycle latency, which the two-element FIFOs exactly cover.
 
 use crate::crossbar::Connectivity;
+use crate::error::Error;
+use crate::fault::{FaultModel, RouteTable};
 use crate::geometry::{Coord, Dir};
 use crate::packet::Flit;
 use crate::router::Router;
@@ -270,6 +272,9 @@ pub struct Network {
     /// Attached per-link instrumentation; `None` (the default) keeps the
     /// cycle loop allocation-free and branch-cheap.
     telemetry: Option<Box<NetTelemetry>>,
+    /// Fault-aware route table; `None` (the unfaulted default) keeps
+    /// routing on the exact DOR fast path.
+    fault_plan: Option<Box<RouteTable>>,
 }
 
 impl Network {
@@ -280,6 +285,34 @@ impl Network {
     /// Returns the [`ConfigError`] from [`NetworkConfig::validate`] if the
     /// configuration is inconsistent.
     pub fn new(cfg: NetworkConfig) -> Result<Self, ConfigError> {
+        Self::build(cfg, None)
+    }
+
+    /// Builds the network for `cfg` with `faults` injected: dead channels
+    /// are tied off at construction and all routing goes through the
+    /// fault-aware [`RouteTable`] (see [`crate::fault`]). An empty fault
+    /// model takes the exact [`Network::new`] path — no table is built and
+    /// behaviour is bit-identical to the unfaulted network.
+    ///
+    /// Flits must only be enqueued toward destinations that
+    /// [`RouteTable::reachable`] confirms, and only at live endpoints
+    /// ([`Network::endpoint_alive`]); the traffic layer enforces both.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ConfigError`] from [`NetworkConfig::validate`] or the
+    /// [`FaultError`](crate::fault::FaultError) from
+    /// [`FaultModel::validate`], converted into the workspace [`Error`].
+    pub fn with_faults(cfg: NetworkConfig, faults: &FaultModel) -> Result<Self, Error> {
+        if faults.is_empty() {
+            return Ok(Self::new(cfg)?);
+        }
+        cfg.validate()?;
+        let table = RouteTable::build(&cfg, faults)?;
+        Ok(Self::build(cfg, Some(Box::new(table)))?)
+    }
+
+    fn build(cfg: NetworkConfig, fault_plan: Option<Box<RouteTable>>) -> Result<Self, ConfigError> {
         cfg.validate()?;
         #[cfg(debug_assertions)]
         if let Some(verifier) = debug_verifier() {
@@ -296,20 +329,38 @@ impl Network {
         let n_nodes = dims.count();
         let conn = Connectivity::of(&cfg);
 
-        let pidx = |d: Dir| ports.iter().position(|&p| p == d).expect("port");
+        let pidx = |d: Dir| {
+            ports
+                .iter()
+                .position(|&p| p == d)
+                .expect("every wired direction appears in the config's port list")
+        };
         let n_eps = cfg.endpoint_count();
         let max_vcs = ports.iter().map(|&p| cfg.vcs(p)).max().unwrap_or(1);
         let mut out_links = vec![LinkTarget::None; n_nodes * np];
         let mut upstream = vec![None; n_nodes * np];
         let mut entries = vec![(usize::MAX, usize::MAX); n_eps];
 
+        // Dead channels stay `LinkTarget::None` and dead endpoints keep
+        // their `usize::MAX` entry sentinel; the fault route table never
+        // steers traffic onto either.
+        let channel_dead = |at: Coord, out: Dir| {
+            fault_plan
+                .as_ref()
+                .is_some_and(|p| p.faults().channel_dead(&cfg, at, out))
+        };
         for c in dims.iter() {
             let node = dims.index(c);
-            entries[node] = (node, pidx(Dir::P));
             for (op, &dir) in ports.iter().enumerate() {
                 let slot = node * np + op;
                 if dir == Dir::P {
-                    out_links[slot] = LinkTarget::Endpoint(EndpointId(node));
+                    if !channel_dead(c, dir) {
+                        out_links[slot] = LinkTarget::Endpoint(EndpointId(node));
+                        entries[node] = (node, pidx(Dir::P));
+                    }
+                    continue;
+                }
+                if channel_dead(c, dir) {
                     continue;
                 }
                 if let Some(nb) = cfg.neighbor(c, dir) {
@@ -375,6 +426,7 @@ impl Network {
             scratch_grants: vec![None; np],
             scratch_inject: Vec::with_capacity(n_eps),
             telemetry: None,
+            fault_plan,
             cfg,
         })
     }
@@ -392,6 +444,23 @@ impl Network {
     /// The network configuration.
     pub fn cfg(&self) -> &NetworkConfig {
         &self.cfg
+    }
+
+    /// The injected fault model, when the network was built with
+    /// [`Network::with_faults`] and a non-empty model.
+    pub fn faults(&self) -> Option<&FaultModel> {
+        self.fault_plan.as_ref().map(|p| p.faults())
+    }
+
+    /// The fault-aware route table, when faults are injected.
+    pub fn route_table(&self) -> Option<&RouteTable> {
+        self.fault_plan.as_deref()
+    }
+
+    /// Whether endpoint `ep` survives the injected faults (always true on
+    /// an unfaulted network). Dead endpoints must not be enqueued at.
+    pub fn endpoint_alive(&self, ep: EndpointId) -> bool {
+        self.entries[ep.0].0 != usize::MAX
     }
 
     /// The derived crossbar connectivity.
@@ -504,7 +573,16 @@ impl Network {
     }
 
     /// Queues a flit at endpoint `ep`'s (unbounded) source queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ep` was killed by the injected fault model (see
+    /// [`Network::endpoint_alive`]).
     pub fn enqueue(&mut self, ep: EndpointId, flit: Flit) {
+        assert!(
+            self.endpoint_alive(ep),
+            "flit enqueued at dead endpoint {ep:?}; check Network::endpoint_alive first"
+        );
         self.sources[ep.0].push_back(flit);
         if !self.on_active_src[ep.0] {
             self.on_active_src[ep.0] = true;
@@ -699,7 +777,9 @@ impl Network {
     }
 
     fn port_index(&self, d: Dir) -> usize {
-        self.conn.port_index(d).expect("port in map")
+        self.conn
+            .port_index(d)
+            .expect("every routed direction appears in the connectivity port map")
     }
 
     /// Route decision for the head of (node, ip, vc), memoized per head.
@@ -712,14 +792,24 @@ impl Network {
         }
         let d = if f.kind.is_head() {
             let coord = self.routers[node].coord;
-            let dec = compute_route(&self.cfg, coord, self.ports[ip], vc as u8, f.dest);
-            debug_assert!(
-                self.conn.allows(self.ports[ip], dec.out),
-                "illegal crossbar transition {} -> {} at {}",
-                self.ports[ip],
-                dec.out,
-                coord
-            );
+            let dec = if let Some(plan) = self.fault_plan.as_deref() {
+                // Faulted network: all packets follow the deadlock-free
+                // up*/down* table over the surviving channels.
+                plan.route(coord, self.ports[ip], f.dest).expect(
+                    "flit routed toward an unreachable destination; \
+                     callers must check RouteTable::reachable before enqueueing",
+                )
+            } else {
+                let dec = compute_route(&self.cfg, coord, self.ports[ip], vc as u8, f.dest);
+                debug_assert!(
+                    self.conn.allows(self.ports[ip], dec.out),
+                    "illegal crossbar transition {} -> {} at {}",
+                    self.ports[ip],
+                    dec.out,
+                    coord
+                );
+                dec
+            };
             (self.port_index(dec.out), dec.out_vc)
         } else {
             let (op, ovc) =
@@ -1000,7 +1090,7 @@ mod tests {
     use crate::topology::CrossbarScheme::{Depopulated, FullyPopulated};
 
     fn deliver_one(cfg: NetworkConfig, src: Coord, dst: Coord) -> (u64, Network) {
-        let mut net = Network::new(cfg).unwrap();
+        let mut net = Network::new(cfg).expect("test config is valid");
         let ep = net.tile_endpoint(src);
         net.enqueue(ep, Flit::single(src, Dest::tile(dst), 1, 0));
         for _ in 0..200 {
@@ -1054,7 +1144,7 @@ mod tests {
     fn back_to_back_stream_sustains_full_throughput() {
         // A single (src, dst) stream on an idle mesh moves 1 flit/cycle.
         let cfg = NetworkConfig::mesh(Dims::new(8, 1));
-        let mut net = Network::new(cfg).unwrap();
+        let mut net = Network::new(cfg).expect("test config is valid");
         let src = Coord::new(0, 0);
         let dst = Coord::new(7, 0);
         let ep = net.tile_endpoint(src);
@@ -1087,7 +1177,7 @@ mod tests {
             NetworkConfig::full_ruche(dims, 2, Depopulated),
             NetworkConfig::multi_mesh(dims),
         ] {
-            let mut net = Network::new(cfg).unwrap();
+            let mut net = Network::new(cfg).expect("test config is valid");
             let src = Coord::new(1, 6);
             let dst = Coord::new(6, 1);
             let ep = net.tile_endpoint(src);
@@ -1108,7 +1198,7 @@ mod tests {
     #[test]
     fn multi_flit_wormhole_packets_stay_contiguous() {
         let cfg = NetworkConfig::mesh(Dims::new(6, 6));
-        let mut net = Network::new(cfg).unwrap();
+        let mut net = Network::new(cfg).expect("test config is valid");
         // Two sources target the same destination with 4-flit packets; the
         // wormhole lock must keep each packet's flits contiguous at the
         // ejection port.
@@ -1135,7 +1225,7 @@ mod tests {
     #[test]
     fn multi_flit_torus_packets_stay_contiguous_per_vc() {
         let cfg = NetworkConfig::torus(Dims::new(5, 5));
-        let mut net = Network::new(cfg).unwrap();
+        let mut net = Network::new(cfg).expect("test config is valid");
         let dst = Coord::new(3, 3);
         for (pid, src) in [(1u64, Coord::new(0, 3)), (2, Coord::new(3, 0))] {
             let ep = net.tile_endpoint(src);
@@ -1159,8 +1249,8 @@ mod tests {
         // Requests ride an X-Y network to the edges; responses come back on
         // a separate Y-X network (the paper's manycore arrangement, §4).
         let src = Coord::new(2, 2);
-        let mut req =
-            Network::new(NetworkConfig::mesh(Dims::new(8, 4)).with_edge_memory_ports()).unwrap();
+        let mut req = Network::new(NetworkConfig::mesh(Dims::new(8, 4)).with_edge_memory_ports())
+            .expect("test config is valid");
         req.enqueue(
             req.tile_endpoint(src),
             Flit::single(src, Dest::north_edge(5), 1, 0),
@@ -1170,7 +1260,7 @@ mod tests {
                 .with_edge_memory_ports()
                 .with_dor(crate::topology::DorOrder::YX),
         )
-        .unwrap();
+        .expect("test config is valid");
         let north = resp.north_endpoint(5);
         resp.enqueue(north, Flit::single(Coord::new(5, 0), Dest::tile(src), 2, 0));
         let mut got = vec![];
@@ -1201,7 +1291,7 @@ mod tests {
             NetworkConfig::full_ruche(dims, 2, FullyPopulated),
         ] {
             let label = cfg.label();
-            let mut net = Network::new(cfg).unwrap();
+            let mut net = Network::new(cfg).expect("test config is valid");
             let mut rng = SmallRng::seed_from_u64(7);
             let mut sent = 0u64;
             for cycle in 0..600u64 {
@@ -1234,7 +1324,7 @@ mod tests {
     #[test]
     fn traversal_counters_accumulate() {
         let cfg = NetworkConfig::mesh(Dims::new(4, 1));
-        let mut net = Network::new(cfg).unwrap();
+        let mut net = Network::new(cfg).expect("test config is valid");
         let src = Coord::new(0, 0);
         net.enqueue(
             net.tile_endpoint(src),
@@ -1252,7 +1342,14 @@ mod tests {
             .sum();
         assert_eq!(east, 3);
         assert_eq!(
-            loads.count(0, loads.ports().iter().position(|&d| d == Dir::E).unwrap()),
+            loads.count(
+                0,
+                loads
+                    .ports()
+                    .iter()
+                    .position(|&d| d == Dir::E)
+                    .expect("mesh has an E port")
+            ),
             1
         );
     }
@@ -1284,7 +1381,7 @@ mod tests {
         // throughput unless buffers deepen accordingly.
         let dims = Dims::new(8, 1);
         let throughput = |cfg: NetworkConfig| {
-            let mut net = Network::new(cfg).unwrap();
+            let mut net = Network::new(cfg).expect("test config is valid");
             let src = Coord::new(0, 0);
             let dst = Coord::new(7, 0);
             let ep = net.tile_endpoint(src);
@@ -1322,7 +1419,7 @@ mod tests {
             NetworkConfig::torus(dims).with_pipeline_stages(1),
         ] {
             let label = cfg.label();
-            let mut net = Network::new(cfg).unwrap();
+            let mut net = Network::new(cfg).expect("test config is valid");
             let mut rng = SmallRng::seed_from_u64(3);
             let mut sent = 0u64;
             for cycle in 0..200u64 {
@@ -1349,7 +1446,7 @@ mod tests {
     #[test]
     fn watchdog_reports_idle() {
         let cfg = NetworkConfig::mesh(Dims::new(4, 4));
-        let mut net = Network::new(cfg).unwrap();
+        let mut net = Network::new(cfg).expect("test config is valid");
         net.run(10);
         assert!(net.snapshot().cycles_since_progress >= 10);
     }

@@ -1178,7 +1178,7 @@ mod tests {
         .fifo_depth(4)
         .dor(DorOrder::YX)
         .build()
-        .unwrap();
+        .expect("builder config is valid");
         let via_shims = NetworkConfig::half_ruche(d, 3, CrossbarScheme::FullyPopulated)
             .with_edge_memory_ports()
             .with_pipeline_stages(1)
@@ -1189,7 +1189,7 @@ mod tests {
         // Reopening an existing config and changing nothing is lossless.
         let round = NetworkConfigBuilder::from(via_builder.clone())
             .build()
-            .unwrap();
+            .expect("reopened config is valid");
         assert_eq!(round, via_builder);
 
         // All remaining builder knobs reach their fields.
@@ -1197,7 +1197,7 @@ mod tests {
             .channel_width_bits(64)
             .edge_bidirectional(true)
             .build()
-            .unwrap();
+            .expect("builder config is valid");
         assert_eq!(cfg.channel_width_bits, 64);
         assert!(cfg.edge_bidirectional);
     }

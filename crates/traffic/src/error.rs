@@ -1,0 +1,140 @@
+//! The traffic crate's unified error type.
+//!
+//! [`TrafficError`] covers everything that can go wrong between a
+//! [`TestbenchBuilder`](crate::testbench::TestbenchBuilder) and a finished
+//! run: pattern/array mismatches, out-of-range injection parameters,
+//! degenerate measurement windows, and rejected network or fault
+//! configurations. Every lower-layer error converts in via `From`, and
+//! `TrafficError` itself (like [`PatternError`]) converts into
+//! [`ruche_noc::Error`], so binaries that mix crates can funnel through one
+//! error type instead of pattern-matching per-crate enums.
+
+use crate::pattern::PatternError;
+use ruche_noc::fault::FaultError;
+use ruche_noc::topology::ConfigError;
+use std::fmt;
+
+/// Errors from building or running a [`Testbench`](crate::Testbench).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TrafficError {
+    /// The destination pattern cannot run on the array.
+    Pattern(PatternError),
+    /// `injection_rate` must be finite and in `(0, 1]` — a Bernoulli
+    /// probability that actually offers load.
+    InvalidInjectionRate(f64),
+    /// The measurement window is empty (`measure == 0`), so throughput
+    /// would divide by zero.
+    EmptyMeasureWindow,
+    /// The drain budget is zero, so no measured packet could ever land.
+    EmptyDrainWindow,
+    /// Packets must carry at least one flit (`packet_len == 0`).
+    EmptyPacket,
+    /// The fault model does not fit the network configuration.
+    Fault(FaultError),
+    /// The network configuration itself is invalid.
+    Config(ConfigError),
+}
+
+impl fmt::Display for TrafficError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrafficError::Pattern(e) => write!(f, "pattern: {e}"),
+            TrafficError::InvalidInjectionRate(r) => {
+                write!(f, "injection rate {r} outside (0, 1]")
+            }
+            TrafficError::EmptyMeasureWindow => write!(f, "measurement window is empty"),
+            TrafficError::EmptyDrainWindow => write!(f, "drain budget is zero"),
+            TrafficError::EmptyPacket => write!(f, "packet length must be at least 1 flit"),
+            TrafficError::Fault(e) => write!(f, "fault model: {e}"),
+            TrafficError::Config(e) => write!(f, "network config: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrafficError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrafficError::Pattern(e) => Some(e),
+            TrafficError::Fault(e) => Some(e),
+            TrafficError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PatternError> for TrafficError {
+    fn from(e: PatternError) -> Self {
+        TrafficError::Pattern(e)
+    }
+}
+
+impl From<FaultError> for TrafficError {
+    fn from(e: FaultError) -> Self {
+        TrafficError::Fault(e)
+    }
+}
+
+impl From<ConfigError> for TrafficError {
+    fn from(e: ConfigError) -> Self {
+        TrafficError::Config(e)
+    }
+}
+
+// The orphan rule puts these here rather than next to `ruche_noc::Error`:
+// the traffic crate owns `PatternError`/`TrafficError`, the noc crate owns
+// `Error`, and `Error::Other` is the designed extension point.
+
+impl From<PatternError> for ruche_noc::Error {
+    fn from(e: PatternError) -> Self {
+        ruche_noc::Error::other(e)
+    }
+}
+
+impl From<TrafficError> for ruche_noc::Error {
+    fn from(e: TrafficError) -> Self {
+        match e {
+            // Unwrap the variants `ruche_noc::Error` models natively so
+            // downstream matching sees the structured form.
+            TrafficError::Fault(e) => ruche_noc::Error::from(e),
+            TrafficError::Config(e) => ruche_noc::Error::from(e),
+            other => ruche_noc::Error::other(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruche_noc::geometry::Coord;
+
+    #[test]
+    fn displays_name_the_failing_layer() {
+        let e = TrafficError::from(PatternError::NeedsSquareArray);
+        assert!(e.to_string().starts_with("pattern:"), "{e}");
+        let e = TrafficError::InvalidInjectionRate(1.5);
+        assert!(e.to_string().contains("1.5"), "{e}");
+        let e = TrafficError::from(FaultError::NoSuchRouter {
+            at: Coord::new(9, 9),
+        });
+        assert!(e.to_string().starts_with("fault model:"), "{e}");
+    }
+
+    #[test]
+    fn converts_into_the_workspace_error() {
+        let noc: ruche_noc::Error = PatternError::NeedsSquareArray.into();
+        assert!(noc.to_string().contains("square"), "{noc}");
+        let noc: ruche_noc::Error = TrafficError::Fault(FaultError::VcRoutersUnsupported).into();
+        assert!(matches!(noc, ruche_noc::Error::Fault(_)), "{noc}");
+        let noc: ruche_noc::Error = TrafficError::EmptyMeasureWindow.into();
+        assert!(matches!(noc, ruche_noc::Error::Other(_)), "{noc}");
+    }
+
+    #[test]
+    fn sources_chain_to_the_underlying_error() {
+        use std::error::Error as _;
+        let e = TrafficError::Pattern(PatternError::NeedsSquareArray);
+        assert!(e.source().is_some());
+        assert!(TrafficError::EmptyDrainWindow.source().is_none());
+    }
+}

@@ -6,20 +6,28 @@
 //! network saturates; throughput is the accepted flit rate during the
 //! measurement window while injection continues.
 
-use crate::pattern::{Pattern, PatternError};
+use crate::error::TrafficError;
+use crate::pattern::Pattern;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use ruche_noc::fault::FaultModel;
 use ruche_noc::packet::Flit;
 use ruche_noc::prelude::*;
 use ruche_stats::Accum;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Testbench phase lengths and injection parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Build one with [`Testbench::builder`], which validates eagerly — the
+/// same discipline as `NetworkConfig::builder`. The fields stay public for
+/// struct-update tweaking in sweeps; [`Testbench::validate`] re-checks a
+/// hand-edited value, and [`run`] validates again before simulating.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
 pub struct Testbench {
     /// Destination pattern.
     pub pattern: Pattern,
-    /// Packets per tile per cycle (Bernoulli probability), in `[0, 1]`.
+    /// Packets per tile per cycle (Bernoulli probability), in `(0, 1]`.
     pub injection_rate: f64,
     /// Cycles of injection before measurement starts.
     pub warmup: u64,
@@ -31,34 +39,198 @@ pub struct Testbench {
     pub packet_len: usize,
     /// RNG seed — runs are fully deterministic.
     pub seed: u64,
+    /// Faults injected into the network before the run. Empty (the
+    /// default) keeps the simulation on the unfaulted fast path,
+    /// bit-for-bit identical to a network built without fault support.
+    pub faults: FaultModel,
+}
+
+/// The `Debug` rendering doubles as the sweep-engine cache key, so an
+/// empty fault model renders exactly as the pre-fault `Testbench` did:
+/// unfaulted cache entries stay valid, and only genuinely faulted
+/// testbenches get new keys.
+impl fmt::Debug for Testbench {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut d = f.debug_struct("Testbench");
+        d.field("pattern", &self.pattern)
+            .field("injection_rate", &self.injection_rate)
+            .field("warmup", &self.warmup)
+            .field("measure", &self.measure)
+            .field("drain", &self.drain)
+            .field("packet_len", &self.packet_len)
+            .field("seed", &self.seed);
+        if !self.faults.is_empty() {
+            d.field("faults", &self.faults);
+        }
+        d.finish()
+    }
 }
 
 impl Testbench {
-    /// A testbench with the paper's defaults at the given rate.
-    pub fn new(pattern: Pattern, injection_rate: f64) -> Self {
-        Testbench {
-            pattern,
-            injection_rate,
-            warmup: 1_000,
-            measure: 2_000,
-            drain: 3_000,
-            packet_len: 1,
-            seed: 0xC0FFEE,
+    /// Default warmup/measure/drain cycles (the paper's methodology).
+    pub const DEFAULT_WINDOWS: (u64, u64, u64) = (1_000, 2_000, 3_000);
+    /// Shortened warmup/measure/drain cycles for smoke tests.
+    pub const QUICK_WINDOWS: (u64, u64, u64) = (300, 700, 1_000);
+    /// Default RNG seed.
+    pub const DEFAULT_SEED: u64 = 0xC0FFEE;
+
+    /// Starts a [`TestbenchBuilder`] with the paper's defaults at the
+    /// given rate. [`TestbenchBuilder::build`] validates everything at
+    /// once, so a bad parameter fails where it is written.
+    pub fn builder(pattern: Pattern, injection_rate: f64) -> TestbenchBuilder {
+        TestbenchBuilder {
+            tb: Testbench {
+                pattern,
+                injection_rate,
+                warmup: Self::DEFAULT_WINDOWS.0,
+                measure: Self::DEFAULT_WINDOWS.1,
+                drain: Self::DEFAULT_WINDOWS.2,
+                packet_len: 1,
+                seed: Self::DEFAULT_SEED,
+                faults: FaultModel::default(),
+            },
         }
     }
 
+    /// A testbench with the paper's defaults at the given rate.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `Testbench::builder(pattern, rate)` and `build()`, which validate eagerly"
+    )]
+    pub fn new(pattern: Pattern, injection_rate: f64) -> Self {
+        Self::builder(pattern, injection_rate).tb
+    }
+
     /// Shorter phases for smoke tests and quick sweeps (builder style).
+    #[deprecated(since = "0.6.0", note = "use `TestbenchBuilder::quick`")]
     pub fn quick(mut self) -> Self {
-        self.warmup = 300;
-        self.measure = 700;
-        self.drain = 1_000;
+        (self.warmup, self.measure, self.drain) = Self::QUICK_WINDOWS;
         self
     }
 
     /// Overrides the RNG seed (builder style).
+    #[deprecated(since = "0.6.0", note = "use `TestbenchBuilder::seed`")]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Checks every invariant [`TestbenchBuilder::build`] enforces:
+    /// `injection_rate` finite and in `(0, 1]`, non-degenerate measure and
+    /// drain windows, and at least one flit per packet. [`run`] calls this
+    /// before simulating, so a hand-edited testbench cannot slip past the
+    /// builder's validation.
+    ///
+    /// # Errors
+    ///
+    /// The [`TrafficError`] for the first violated invariant.
+    pub fn validate(&self) -> Result<(), TrafficError> {
+        if !self.injection_rate.is_finite()
+            || self.injection_rate <= 0.0
+            || self.injection_rate > 1.0
+        {
+            return Err(TrafficError::InvalidInjectionRate(self.injection_rate));
+        }
+        if self.measure == 0 {
+            return Err(TrafficError::EmptyMeasureWindow);
+        }
+        if self.drain == 0 {
+            return Err(TrafficError::EmptyDrainWindow);
+        }
+        if self.packet_len == 0 {
+            return Err(TrafficError::EmptyPacket);
+        }
+        Ok(())
+    }
+}
+
+/// Validating builder for [`Testbench`] — the one entry point for every
+/// parameter, faults included.
+///
+/// # Examples
+///
+/// ```
+/// use ruche_traffic::{Pattern, Testbench};
+///
+/// let tb = Testbench::builder(Pattern::UniformRandom, 0.05)
+///     .quick()
+///     .seed(7)
+///     .build()?;
+/// assert_eq!(tb.seed, 7);
+///
+/// // A bad rate fails at build time, not mid-sweep.
+/// assert!(Testbench::builder(Pattern::UniformRandom, 1.5).build().is_err());
+/// # Ok::<(), ruche_traffic::TrafficError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TestbenchBuilder {
+    tb: Testbench,
+}
+
+impl TestbenchBuilder {
+    /// Sets the warmup window in cycles.
+    pub fn warmup(mut self, cycles: u64) -> Self {
+        self.tb.warmup = cycles;
+        self
+    }
+
+    /// Sets the measurement window in cycles.
+    pub fn measure(mut self, cycles: u64) -> Self {
+        self.tb.measure = cycles;
+        self
+    }
+
+    /// Sets the drain budget in cycles.
+    pub fn drain(mut self, cycles: u64) -> Self {
+        self.tb.drain = cycles;
+        self
+    }
+
+    /// Switches to the shortened smoke-test windows
+    /// ([`Testbench::QUICK_WINDOWS`]).
+    pub fn quick(mut self) -> Self {
+        (self.tb.warmup, self.tb.measure, self.tb.drain) = Testbench::QUICK_WINDOWS;
+        self
+    }
+
+    /// Sets the packet length in flits.
+    pub fn packet_len(mut self, flits: usize) -> Self {
+        self.tb.packet_len = flits;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.tb.seed = seed;
+        self
+    }
+
+    /// Injects a fault model: the run's network is built with
+    /// `Network::with_faults`, dead tiles fall silent, and packets are
+    /// only offered to destinations the surviving network can reach.
+    pub fn faults(mut self, faults: FaultModel) -> Self {
+        self.tb.faults = faults;
+        self
+    }
+
+    /// Validates and returns the testbench.
+    ///
+    /// # Errors
+    ///
+    /// The [`TrafficError`] for the first violated invariant, as
+    /// [`Testbench::validate`] reports it. (Fault-model fit is checked
+    /// against the network configuration at [`run`] time — the builder
+    /// does not know the array yet.)
+    pub fn build(self) -> Result<Testbench, TrafficError> {
+        self.tb.validate()?;
+        Ok(self.tb)
+    }
+}
+
+impl From<Testbench> for TestbenchBuilder {
+    /// Reopens an existing testbench for further tweaking.
+    fn from(tb: Testbench) -> Self {
+        TestbenchBuilder { tb }
     }
 }
 
@@ -89,16 +261,19 @@ pub struct TbResult {
 
 /// Runs the testbench on a network configuration.
 ///
+/// With a non-empty [`Testbench::faults`], the network is built with
+/// `Network::with_faults`: dead tiles inject nothing, and packets are only
+/// offered to destinations the surviving network can reach (partitioned
+/// pairs fall silent instead of wedging the run). An empty fault model
+/// takes the exact unfaulted code path — same RNG stream, same results,
+/// bit for bit.
+///
 /// # Errors
 ///
-/// Returns a [`PatternError`] if the pattern cannot run on the array.
-///
-/// # Panics
-///
-/// Panics if `injection_rate` is outside `[0, 1]`, if the network
-/// configuration is invalid, or if the pattern needs edge ports the
-/// configuration lacks.
-pub fn run(cfg: &NetworkConfig, tb: &Testbench) -> Result<TbResult, PatternError> {
+/// Returns a [`TrafficError`] if the testbench parameters are invalid
+/// ([`Testbench::validate`]), the pattern cannot run on the array, the
+/// network configuration is rejected, or the fault model does not fit it.
+pub fn run(cfg: &NetworkConfig, tb: &Testbench) -> Result<TbResult, TrafficError> {
     run_inner(cfg, tb, None).map(|(res, _)| res)
 }
 
@@ -109,16 +284,12 @@ pub fn run(cfg: &NetworkConfig, tb: &Testbench) -> Result<TbResult, PatternError
 ///
 /// # Errors
 ///
-/// Returns a [`PatternError`] exactly as [`run`] does.
-///
-/// # Panics
-///
-/// Panics under the same conditions as [`run`].
+/// Returns a [`TrafficError`] exactly as [`run`] does.
 pub fn run_probed(
     cfg: &NetworkConfig,
     tb: &Testbench,
     window: u64,
-) -> Result<(TbResult, Box<NetTelemetry>), PatternError> {
+) -> Result<(TbResult, Box<NetTelemetry>), TrafficError> {
     run_inner(cfg, tb, Some(window)).map(|(res, tel)| (res, tel.expect("telemetry was attached")))
 }
 
@@ -126,11 +297,8 @@ fn run_inner(
     cfg: &NetworkConfig,
     tb: &Testbench,
     telemetry_window: Option<u64>,
-) -> Result<(TbResult, Option<Box<NetTelemetry>>), PatternError> {
-    assert!(
-        (0.0..=1.0).contains(&tb.injection_rate),
-        "injection rate must be in [0, 1]"
-    );
+) -> Result<(TbResult, Option<Box<NetTelemetry>>), TrafficError> {
+    tb.validate()?;
     tb.pattern.validate(cfg.dims)?;
     let mut cfg = cfg.clone();
     if tb.pattern.needs_edge_ports() {
@@ -138,7 +306,18 @@ fn run_inner(
     }
     let dims = cfg.dims;
     let n_tiles = dims.count() as u64;
-    let mut net = Network::new(cfg).expect("valid network config");
+    let mut net = if tb.faults.is_empty() {
+        Network::new(cfg)?
+    } else {
+        Network::with_faults(cfg, &tb.faults).map_err(|e| match e {
+            ruche_noc::Error::Config(e) => TrafficError::Config(e),
+            ruche_noc::Error::Fault(e) => TrafficError::Fault(e),
+            other => panic!("unexpected faulted-network construction error: {other}"),
+        })?
+    };
+    // Cloned out of the network so reachability checks below don't hold a
+    // borrow across `enqueue`. `None` on the unfaulted fast path.
+    let fault_table = net.route_table().cloned();
     if let Some(window) = telemetry_window {
         net.attach_telemetry(window);
     }
@@ -158,8 +337,18 @@ fn run_inner(
     while cycle < deadline {
         if cycle < inject_until {
             for src in dims.iter() {
+                // Dead tiles fall silent without consuming an RNG draw, so
+                // a fault model perturbs only the traffic it disables.
+                if fault_table.is_some() && !net.endpoint_alive(net.tile_endpoint(src)) {
+                    continue;
+                }
                 if rng.gen_bool(tb.injection_rate) {
                     if let Some(dest) = tb.pattern.dest(src, dims, &mut rng) {
+                        if let Some(table) = &fault_table {
+                            if !table.reachable(src, Dir::P, dest) {
+                                continue; // partitioned pair: offer nothing
+                            }
+                        }
                         let ep = net.tile_endpoint(src);
                         let in_window = cycle >= m_start;
                         if in_window {
@@ -216,18 +405,20 @@ fn run_inner(
 /// Mean latency at (near-)zero load: a low-rate run whose latency is the
 /// network's intrinsic latency under this pattern.
 pub fn zero_load_latency(cfg: &NetworkConfig, pattern: Pattern, seed: u64) -> f64 {
-    let tb = Testbench {
-        injection_rate: 0.005,
-        ..Testbench::new(pattern, 0.0)
-    }
-    .with_seed(seed);
+    let tb = Testbench::builder(pattern, 0.005)
+        .seed(seed)
+        .build()
+        .expect("zero-load testbench is valid");
     run(cfg, &tb).expect("pattern valid").avg_latency
 }
 
 /// Saturation throughput: the accepted flit rate when every tile offers a
 /// packet every cycle.
 pub fn saturation_throughput(cfg: &NetworkConfig, pattern: Pattern, seed: u64) -> f64 {
-    let tb = Testbench::new(pattern, 1.0).with_seed(seed);
+    let tb = Testbench::builder(pattern, 1.0)
+        .seed(seed)
+        .build()
+        .expect("saturation testbench is valid");
     run(cfg, &tb).expect("pattern valid").accepted
 }
 
@@ -271,7 +462,10 @@ mod tests {
     use ruche_noc::topology::CrossbarScheme::FullyPopulated;
 
     fn quick(pattern: Pattern, rate: f64) -> Testbench {
-        Testbench::new(pattern, rate).quick()
+        Testbench::builder(pattern, rate)
+            .quick()
+            .build()
+            .expect("test parameters are valid")
     }
 
     #[test]
@@ -300,12 +494,12 @@ mod tests {
         // therefore cost nothing and change nothing. (If the early exit
         // regressed, this test would grind through 50M idle cycles.)
         let cfg = NetworkConfig::mesh(Dims::new(4, 4));
-        let tb = Testbench {
-            warmup: 100,
-            measure: 200,
-            drain: 1_000,
-            ..Testbench::new(Pattern::UniformRandom, 0.05)
-        };
+        let tb = Testbench::builder(Pattern::UniformRandom, 0.05)
+            .warmup(100)
+            .measure(200)
+            .drain(1_000)
+            .build()
+            .unwrap();
         let huge = Testbench {
             drain: 50_000_000,
             ..tb.clone()
@@ -359,7 +553,8 @@ mod tests {
     #[test]
     fn latency_curve_is_monotone_in_accepted_load() {
         let cfg = NetworkConfig::mesh(Dims::new(8, 8));
-        let tb = quick(Pattern::UniformRandom, 0.0);
+        // The proto's own rate is never run — each curve point replaces it.
+        let tb = quick(Pattern::UniformRandom, 1.0);
         let curve = latency_curve(&cfg, &tb, &[0.02, 0.10, 0.25]);
         assert_eq!(curve.len(), 3);
         assert!(curve[0].avg_latency < curve[2].avg_latency);
@@ -417,7 +612,11 @@ mod tests {
     fn two_identical_seeded_runs_export_identical_telemetry() {
         let blob = |seed: u64| {
             let cfg = NetworkConfig::mesh(Dims::new(8, 8));
-            let tb = quick(Pattern::UniformRandom, 0.2).with_seed(seed);
+            let tb = Testbench::builder(Pattern::UniformRandom, 0.2)
+                .quick()
+                .seed(seed)
+                .build()
+                .unwrap();
             let (_, tel) = run_probed(&cfg, &tb, 64).unwrap();
             let mut p = ruche_telemetry::JsonProbe::new();
             tel.export(&mut p);
@@ -427,6 +626,55 @@ mod tests {
         assert_eq!(a, blob(11), "same seed, same bytes");
         assert!(a.contains("\"link.E.vc0.traversed\""), "{a}");
         assert_ne!(a, blob(12), "different seed, different telemetry");
+    }
+
+    #[test]
+    fn faulted_run_skips_partitioned_pairs_and_delivers_the_rest() {
+        let cfg = NetworkConfig::mesh(Dims::new(6, 6));
+        let faults = FaultModel::random_links(&cfg, 0.1, 4).kill_router(Coord::new(3, 3));
+        let tb = Testbench::builder(Pattern::UniformRandom, 0.1)
+            .quick()
+            .faults(faults)
+            .build()
+            .unwrap();
+        let res = run(&cfg, &tb).unwrap();
+        assert!(res.delivered > 0);
+        assert_eq!(res.lost, 0, "unreachable pairs are never offered");
+        // The dead tile sourced nothing.
+        assert_eq!(
+            res.per_tile_latency[Dims::new(6, 6).index(Coord::new(3, 3))].count(),
+            0
+        );
+    }
+
+    #[test]
+    fn misfit_fault_model_errors_instead_of_panicking() {
+        let cfg = NetworkConfig::mesh(Dims::new(4, 4));
+        let tb = Testbench::builder(Pattern::UniformRandom, 0.1)
+            .quick()
+            .faults(FaultModel::default().kill_router(Coord::new(9, 9)))
+            .build()
+            .unwrap();
+        assert!(matches!(run(&cfg, &tb), Err(crate::TrafficError::Fault(_))));
+    }
+
+    #[test]
+    fn debug_rendering_is_stable_for_unfaulted_testbenches() {
+        // The sweep cache keys on `{:?}`: an empty fault model must render
+        // exactly as the pre-fault Testbench did, and only real faults may
+        // change the key.
+        let tb = quick(Pattern::UniformRandom, 0.1);
+        assert_eq!(
+            format!("{tb:?}"),
+            "Testbench { pattern: UniformRandom, injection_rate: 0.1, warmup: 300, \
+             measure: 700, drain: 1000, packet_len: 1, seed: 12648430 }"
+        );
+        let faulted = TestbenchBuilder::from(tb.clone())
+            .faults(FaultModel::default().kill_router(Coord::new(1, 1)))
+            .build()
+            .unwrap();
+        assert_ne!(format!("{tb:?}"), format!("{faulted:?}"));
+        assert!(format!("{faulted:?}").contains("faults"), "{faulted:?}");
     }
 
     #[test]

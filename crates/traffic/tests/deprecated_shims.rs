@@ -1,0 +1,108 @@
+//! The deprecated `Testbench` constructors are kept for one release as
+//! thin shims over [`Testbench::builder`]. This test is the only place
+//! allowed to call them: it pins down that each shim agrees with its
+//! builder replacement until the shims are removed.
+
+#![allow(deprecated)]
+
+use ruche_noc::prelude::*;
+use ruche_traffic::{run, Pattern, Testbench, TestbenchBuilder, TrafficError};
+
+#[test]
+fn new_matches_builder_defaults() {
+    let old = Testbench::new(Pattern::Tornado, 0.25);
+    let new = Testbench::builder(Pattern::Tornado, 0.25).build().unwrap();
+    assert_eq!(old, new);
+    assert_eq!(old.warmup, Testbench::DEFAULT_WINDOWS.0);
+    assert_eq!(old.measure, Testbench::DEFAULT_WINDOWS.1);
+    assert_eq!(old.drain, Testbench::DEFAULT_WINDOWS.2);
+    assert_eq!(old.packet_len, 1);
+    assert_eq!(old.seed, Testbench::DEFAULT_SEED);
+    assert!(old.faults.is_empty());
+}
+
+#[test]
+fn quick_and_with_seed_match_builder_methods() {
+    let old = Testbench::new(Pattern::UniformRandom, 0.1)
+        .quick()
+        .with_seed(7);
+    let new = Testbench::builder(Pattern::UniformRandom, 0.1)
+        .quick()
+        .seed(7)
+        .build()
+        .unwrap();
+    assert_eq!(old, new);
+    assert_eq!(
+        (old.warmup, old.measure, old.drain),
+        Testbench::QUICK_WINDOWS
+    );
+}
+
+#[test]
+fn shim_and_builder_testbenches_simulate_identically() {
+    let cfg = NetworkConfig::mesh(Dims::new(6, 6));
+    let old = Testbench::new(Pattern::UniformRandom, 0.1).quick();
+    let new = Testbench::builder(Pattern::UniformRandom, 0.1)
+        .quick()
+        .build()
+        .unwrap();
+    let a = run(&cfg, &old).unwrap();
+    let b = run(&cfg, &new).unwrap();
+    assert_eq!(a.avg_latency, b.avg_latency);
+    assert_eq!(a.accepted, b.accepted);
+    assert_eq!(a.delivered, b.delivered);
+}
+
+#[test]
+fn builder_validates_what_the_shims_let_through() {
+    // The shims stay infallible (their historical contract); the builder
+    // is where bad parameters are caught.
+    for rate in [0.0, -0.1, 1.5, f64::NAN] {
+        assert!(
+            matches!(
+                Testbench::builder(Pattern::UniformRandom, rate).build(),
+                Err(TrafficError::InvalidInjectionRate(_))
+            ),
+            "rate {rate} must be rejected"
+        );
+    }
+    assert!(matches!(
+        Testbench::builder(Pattern::UniformRandom, 0.1)
+            .measure(0)
+            .build(),
+        Err(TrafficError::EmptyMeasureWindow)
+    ));
+    assert!(matches!(
+        Testbench::builder(Pattern::UniformRandom, 0.1)
+            .drain(0)
+            .build(),
+        Err(TrafficError::EmptyDrainWindow)
+    ));
+    assert!(matches!(
+        Testbench::builder(Pattern::UniformRandom, 0.1)
+            .packet_len(0)
+            .build(),
+        Err(TrafficError::EmptyPacket)
+    ));
+    // `run` re-validates, so a hand-edited testbench cannot slip through.
+    let mut tb = Testbench::new(Pattern::UniformRandom, 0.1).quick();
+    tb.injection_rate = 0.0;
+    assert!(matches!(
+        run(&NetworkConfig::mesh(Dims::new(4, 4)), &tb),
+        Err(TrafficError::InvalidInjectionRate(_))
+    ));
+}
+
+#[test]
+fn builder_reopens_an_existing_testbench() {
+    let base = Testbench::builder(Pattern::UniformRandom, 0.1)
+        .quick()
+        .build()
+        .unwrap();
+    let tweaked = TestbenchBuilder::from(base.clone())
+        .seed(99)
+        .build()
+        .unwrap();
+    assert_eq!(tweaked.warmup, base.warmup);
+    assert_eq!(tweaked.seed, 99);
+}

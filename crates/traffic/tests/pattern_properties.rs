@@ -73,9 +73,11 @@ proptest! {
     #[test]
     fn testbench_accounting(rate in 1u32..=100, seed in any::<u64>()) {
         let cfg = NetworkConfig::mesh(Dims::new(6, 6));
-        let tb = Testbench::new(Pattern::UniformRandom, rate as f64 / 100.0)
+        let tb = Testbench::builder(Pattern::UniformRandom, rate as f64 / 100.0)
             .quick()
-            .with_seed(seed);
+            .seed(seed)
+            .build()
+            .unwrap();
         let res = run(&cfg, &tb).unwrap();
         prop_assert!(res.delivered + res.lost > 0 || rate < 2);
         prop_assert!(res.accepted <= 1.0 + 1e-9);

@@ -1,4 +1,6 @@
-//! Statically verifies every configuration in the paper grid.
+//! Statically verifies every configuration in the paper grid, plus a
+//! faulted-grid sample (random link kills and a dead router over the
+//! degradation sweep's topologies, checked with the up*/down* table).
 //!
 //! ```text
 //! verify_net [FILTER] [--strict]
@@ -10,7 +12,29 @@
 //! configuration has an error finding (`--strict`: or a warning). An
 //! optional `FILTER` substring restricts the run to matching labels.
 
-use ruche_verify::{grid, verify, Severity};
+use ruche_noc::fault::FaultModel;
+use ruche_noc::prelude::*;
+use ruche_verify::{grid, verify, verify_faulted, Severity};
+
+/// The faulted sample: the degradation sweep's three topology families at
+/// representative fault rates, plus a dead-router case.
+fn faulted_sample() -> Vec<(NetworkConfig, FaultModel)> {
+    let mut sample = Vec::new();
+    let topos = [
+        NetworkConfig::mesh(Dims::new(8, 8)),
+        NetworkConfig::half_ruche(Dims::new(16, 8), 2, CrossbarScheme::Depopulated),
+        NetworkConfig::full_ruche(Dims::new(8, 8), 2, CrossbarScheme::Depopulated),
+    ];
+    for cfg in topos {
+        for (p, seed) in [(0.05, 1u64), (0.15, 2)] {
+            let faults = FaultModel::random_links(&cfg, p, seed);
+            sample.push((cfg.clone(), faults));
+        }
+        let dead = Coord::new(cfg.dims.cols / 2, cfg.dims.rows / 2);
+        sample.push((cfg.clone(), FaultModel::default().kill_router(dead)));
+    }
+    sample
+}
 
 fn main() {
     let mut filter: Option<String> = None;
@@ -61,8 +85,38 @@ fn main() {
         }
     }
 
+    let faulted = faulted_sample();
+    let mut n_faulted = 0usize;
+    for (cfg, faults) in &faulted {
+        if filter.as_deref().is_some_and(|f| !cfg.label().contains(f)) {
+            continue;
+        }
+        n_faulted += 1;
+        let report = verify_faulted(cfg, faults);
+        errors += report.count(Severity::Error);
+        warnings += report.count(Severity::Warning);
+        table.row(vec![
+            report.label.clone(),
+            report.dims.clone(),
+            format!("{:?}", cfg.dor),
+            format!(
+                "{}L/{}R",
+                faults.dead_links().len(),
+                faults.dead_routers().len()
+            ),
+            report.stats.channels.to_string(),
+            report.stats.dependencies.to_string(),
+            report.stats.largest_scc.to_string(),
+            report.count(Severity::Error).to_string(),
+            report.count(Severity::Warning).to_string(),
+        ]);
+        if !report.is_clean() {
+            dirty.push(report);
+        }
+    }
+
     println!(
-        "static verification of {} configuration(s)\n",
+        "static verification of {} configuration(s) + {n_faulted} faulted sample(s)\n",
         configs.len()
     );
     println!("{}", table.render());

@@ -46,10 +46,12 @@
 #![warn(missing_debug_implementations)]
 
 mod cdg;
+pub mod faulted;
 pub mod grid;
 mod lints;
 mod report;
 
+pub use faulted::{verify_faulted, verify_faulted_cached};
 pub use report::{CdgStats, Channel, Finding, Lint, Report, RouteId, Severity, Witness};
 
 use ruche_noc::prelude::*;

@@ -37,20 +37,26 @@ use std::collections::HashMap;
 const WITNESS_CAP: usize = 3;
 
 /// Collects findings with the per-lint witness cap applied.
-struct Sink {
+pub(crate) struct Sink {
     findings: Vec<Finding>,
     counts: HashMap<Lint, (usize, Severity)>,
 }
 
 impl Sink {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Sink {
             findings: Vec::new(),
             counts: HashMap::new(),
         }
     }
 
-    fn push(&mut self, lint: Lint, severity: Severity, message: String, witness: Option<Witness>) {
+    pub(crate) fn push(
+        &mut self,
+        lint: Lint,
+        severity: Severity,
+        message: String,
+        witness: Option<Witness>,
+    ) {
         let entry = self.counts.entry(lint).or_insert((0, severity));
         entry.0 += 1;
         entry.1 = entry.1.max(severity);
@@ -64,7 +70,7 @@ impl Sink {
         }
     }
 
-    fn finish(mut self) -> Vec<Finding> {
+    pub(crate) fn finish(mut self) -> Vec<Finding> {
         let mut overflow: Vec<(Lint, usize, Severity)> = self
             .counts
             .iter()
@@ -130,7 +136,7 @@ fn trace(
 /// enumerated in exactly the directions the crossbar derivation
 /// implements (requests route X-Y *to* the edges, responses Y-X *from*
 /// them, unless `edge_bidirectional` carries both).
-fn route_cases(cfg: &NetworkConfig) -> Vec<RouteId> {
+pub(crate) fn route_cases(cfg: &NetworkConfig) -> Vec<RouteId> {
     let mut cases = Vec::new();
     for src in cfg.dims.iter() {
         for dst in cfg.dims.iter() {

@@ -57,6 +57,10 @@ pub enum Lint {
     /// The channel-dependency graph has a cycle: the Dally–Seitz
     /// deadlock-freedom condition is violated.
     ChannelDeadlock,
+    /// A faulted configuration leaves a source/destination pair with no
+    /// surviving route (benign: the degradation sweep accounts for it, but
+    /// traffic must not be offered to the pair).
+    Unreachable,
     /// Route lengths are not invariant under array reflection on a
     /// translation-symmetric topology.
     Symmetry,
@@ -75,6 +79,7 @@ impl Lint {
             Lint::VcRange => "vc-range",
             Lint::VcMonotonicity => "vc-monotonicity",
             Lint::ChannelDeadlock => "channel-deadlock",
+            Lint::Unreachable => "unreachable",
             Lint::Symmetry => "symmetry",
             Lint::CdgStats => "cdg-stats",
         }

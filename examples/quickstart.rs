@@ -38,7 +38,10 @@ fn main() {
         NetworkConfig::full_ruche(dims, 2, CrossbarScheme::Depopulated),
         NetworkConfig::full_ruche(dims, 3, CrossbarScheme::FullyPopulated),
     ] {
-        let tb = Testbench::new(Pattern::UniformRandom, 0.25).quick();
+        let tb = Testbench::builder(Pattern::UniformRandom, 0.25)
+            .quick()
+            .build()
+            .expect("testbench is valid");
         let res = run(&cfg, &tb).expect("pattern fits");
         println!(
             "  {:14} accepted {:.3}  avg latency {:>7.1}{}",

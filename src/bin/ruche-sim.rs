@@ -119,8 +119,17 @@ fn main() {
         _ => usage(),
     };
 
-    let mut tb = Testbench::new(pattern, a.rate).with_seed(a.seed);
-    tb.packet_len = a.packet_len;
+    let tb = match Testbench::builder(pattern, a.rate)
+        .seed(a.seed)
+        .packet_len(a.packet_len)
+        .build()
+    {
+        Ok(tb) => tb,
+        Err(e) => {
+            eprintln!("invalid testbench: {e}");
+            std::process::exit(1);
+        }
+    };
     println!(
         "network {} ({}), pattern {}, {} bisection channels (horizontal)",
         cfg.label(),

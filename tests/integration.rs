@@ -72,8 +72,11 @@ fn fairness_improves_with_ruche() {
     // Figure 8's core claim: Ruche reduces per-tile latency variance vs
     // mesh (never reaching the torus's perfect symmetry).
     let dims = Dims::new(16, 16);
-    let mut tb = Testbench::new(Pattern::UniformRandom, 0.02).quick();
-    tb.measure = 2_500; // enough samples per tile for stable means
+    let tb = Testbench::builder(Pattern::UniformRandom, 0.02)
+        .quick()
+        .measure(2_500) // enough samples per tile for stable means
+        .build()
+        .expect("testbench is valid");
     let spread = |cfg: &NetworkConfig| {
         let res = tb_run(cfg, &tb).expect("valid");
         let means: Vec<f64> = res
