@@ -1,0 +1,195 @@
+//! `step_bench`: single-run step-level scaling microbenchmark.
+//!
+//! Measures `Network::step` throughput (cycles/sec) and speedup as the
+//! step-thread count sweeps {1, 2, 4, 8}, for mesh and Ruche (RF 2) grids
+//! from 16×16 up to 128×128 (the scale regime the sharded engine targets).
+//! Traffic is pre-generated from a fixed seed, and the per-run **digest**
+//! (injected, ejected, final cycle, total link traversals) is asserted
+//! identical across every thread count before anything is written — the
+//! timing numbers vary with the machine, the simulation results never do.
+//!
+//! Results land in `results/BENCH_step.json`; `docs/PARALLELISM.md`
+//! explains how to read them. Pass `--quick` to drop the largest grid and
+//! shorten runs.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use ruche_bench::out::{banner, write_artifact};
+use ruche_bench::sweep::MODEL_VERSION;
+use ruche_bench::Opts;
+use ruche_noc::packet::Flit;
+use ruche_noc::prelude::*;
+use ruche_stats::fmt_f;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Swept step-thread counts.
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+/// Injection probability per tile per loaded cycle.
+const RATE: f64 = 0.2;
+/// Traffic seed (fixed: the digest must be reproducible).
+const SEED: u64 = 17;
+
+/// Simulation results that must not depend on the thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Digest {
+    injected: u64,
+    ejected: u64,
+    final_cycle: u64,
+    traversals: u64,
+}
+
+/// One timed run: steps `cfg` under the pre-generated `traffic` for
+/// `cycles` loaded cycles plus the drain, returning the digest and the
+/// measured step rate in cycles/sec.
+fn timed_run(
+    cfg: &NetworkConfig,
+    traffic: &[Vec<(Coord, Flit)>],
+    step_threads: usize,
+) -> (Digest, f64) {
+    let mut net =
+        Network::new(cfg.clone().with_step_threads(step_threads)).expect("valid bench config");
+    let start = Instant::now();
+    for batch in traffic {
+        for &(c, f) in batch {
+            net.enqueue(net.tile_endpoint(c), f);
+        }
+        net.step();
+    }
+    while !net.snapshot().is_idle() {
+        net.step();
+        assert!(
+            net.snapshot().cycles_since_progress < 50_000,
+            "bench traffic deadlocked"
+        );
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let snap = net.snapshot();
+    let digest = Digest {
+        injected: snap.injected,
+        ejected: snap.ejected,
+        final_cycle: snap.cycle,
+        traversals: net.link_loads().iter().map(|(_, _, n)| n).sum(),
+    };
+    (digest, snap.cycle as f64 / secs.max(1e-9))
+}
+
+/// Pre-generates `cycles` batches of uniform-random single-flit traffic so
+/// the timed region contains only `enqueue` + `step`. Load stops at 60% of
+/// the run so the tail measures drain behaviour.
+fn gen_traffic(dims: Dims, cycles: u64) -> Vec<Vec<(Coord, Flit)>> {
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    let loaded = cycles * 3 / 5;
+    let mut id = 0u64;
+    (0..cycles)
+        .map(|cycle| {
+            let mut batch = Vec::new();
+            if cycle >= loaded {
+                return batch;
+            }
+            for c in dims.iter() {
+                if rng.gen_bool(RATE) {
+                    let d = Coord::new(rng.gen_range(0..dims.cols), rng.gen_range(0..dims.rows));
+                    batch.push((c, Flit::single(c, Dest::tile(d), id, cycle)));
+                    id += 1;
+                }
+            }
+            batch
+        })
+        .collect()
+}
+
+/// The benched (dims, loaded-cycle-count) grid sizes.
+fn grids(quick: bool) -> Vec<(Dims, u64)> {
+    let mut g = vec![(Dims::new(16, 16), 600), (Dims::new(64, 64), 120)];
+    if !quick {
+        g.push((Dims::new(128, 128), 40));
+    }
+    g
+}
+
+/// The benched topology families at `dims`.
+fn topologies(dims: Dims) -> Vec<NetworkConfig> {
+    vec![
+        NetworkConfig::mesh(dims),
+        NetworkConfig::full_ruche(dims, 2, CrossbarScheme::Depopulated),
+    ]
+}
+
+fn main() {
+    let opts = Opts::from_env();
+    banner(
+        "step_bench",
+        "Network::step scaling vs step-thread count (sharded engine)",
+    );
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"version\": \"{MODEL_VERSION}\",");
+    let _ = writeln!(json, "  \"quick\": {},", opts.quick);
+    let _ = writeln!(json, "  \"rate\": {RATE},");
+    let _ = writeln!(json, "  \"seed\": {SEED},");
+    let _ = writeln!(json, "  \"runs\": [");
+    let mut first = true;
+    for (dims, cycles) in grids(opts.quick) {
+        let traffic = gen_traffic(dims, cycles);
+        for cfg in topologies(dims) {
+            println!("-- {} {} ({cycles} loaded cycles)", dims, cfg.label());
+            let mut baseline: Option<(Digest, f64)> = None;
+            let mut rows = Vec::new();
+            for &t in &THREADS {
+                let (digest, rate) = timed_run(&cfg, &traffic, t);
+                let shards = Network::new(cfg.clone().with_step_threads(t))
+                    .expect("valid bench config")
+                    .step_threads();
+                match &baseline {
+                    None => baseline = Some((digest, rate)),
+                    Some((d0, _)) => assert_eq!(
+                        *d0,
+                        digest,
+                        "{} {}: digest diverged at {t} step threads",
+                        dims,
+                        cfg.label()
+                    ),
+                }
+                let speedup = rate / baseline.expect("set above").1;
+                println!(
+                    "   threads={t} (shards={shards}): {} cycles/sec, speedup {}",
+                    fmt_f(rate, 0),
+                    fmt_f(speedup, 2),
+                );
+                rows.push((t, shards, rate, speedup));
+            }
+            let (digest, _) = baseline.expect("at least one thread count");
+            if !first {
+                let _ = writeln!(json, ",");
+            }
+            first = false;
+            let _ = writeln!(json, "    {{");
+            let _ = writeln!(json, "      \"dims\": \"{dims}\",");
+            let _ = writeln!(json, "      \"topology\": \"{}\",", cfg.label());
+            let _ = writeln!(json, "      \"loaded_cycles\": {cycles},");
+            let _ = writeln!(
+                json,
+                "      \"digest\": {{\"injected\": {}, \"ejected\": {}, \
+                 \"final_cycle\": {}, \"traversals\": {}}},",
+                digest.injected, digest.ejected, digest.final_cycle, digest.traversals
+            );
+            let _ = writeln!(json, "      \"threads\": [");
+            for (i, (t, shards, rate, speedup)) in rows.iter().enumerate() {
+                let _ = writeln!(
+                    json,
+                    "        {{\"threads\": {t}, \"shards\": {shards}, \
+                     \"cycles_per_sec\": {}, \"speedup\": {}}}{}",
+                    fmt_f(*rate, 1),
+                    fmt_f(*speedup, 3),
+                    if i + 1 < rows.len() { "," } else { "" }
+                );
+            }
+            let _ = writeln!(json, "      ]");
+            let _ = write!(json, "    }}");
+        }
+    }
+    let _ = writeln!(json, "\n  ]");
+    let _ = writeln!(json, "}}");
+    write_artifact("BENCH_step.json", &json);
+}

@@ -22,6 +22,13 @@ pub struct Opts {
     /// suite, writing `results/BENCH_degradation.json` (`--degradation` or
     /// `RUCHE_DEGRADATION=1`).
     pub degradation: bool,
+    /// Step-level shard threads per simulation (`--step-threads N`,
+    /// `--step-threads=N`, or `RUCHE_STEP_THREADS=N`; 0 keeps every run
+    /// serial). When > 1, the sweep engine trades run-level for step-level
+    /// parallelism: the worker-pool width is divided by this factor and
+    /// each `Network::step` is sharded instead. Results are byte-identical
+    /// either way.
+    pub step_threads: usize,
 }
 
 /// The machine's available parallelism (1 if it can't be queried).
@@ -45,18 +52,26 @@ impl Opts {
             args.iter().any(|a| a == name) || env(var).as_deref() == Some("1")
         };
         let mut threads = None;
+        let mut step_threads = None;
         let mut it = args.iter();
         while let Some(a) = it.next() {
             if a == "--threads" {
                 threads = it.next().and_then(|v| v.parse().ok());
             } else if let Some(v) = a.strip_prefix("--threads=") {
                 threads = v.parse().ok();
+            } else if a == "--step-threads" {
+                step_threads = it.next().and_then(|v| v.parse().ok());
+            } else if let Some(v) = a.strip_prefix("--step-threads=") {
+                step_threads = v.parse().ok();
             }
         }
         let threads = threads
             .or_else(|| env("RUCHE_THREADS").and_then(|v| v.parse().ok()))
             .filter(|&n| n > 0)
             .unwrap_or_else(default_threads);
+        let step_threads = step_threads
+            .or_else(|| env("RUCHE_STEP_THREADS").and_then(|v| v.parse().ok()))
+            .unwrap_or(0);
         Opts {
             quick: flag("--quick", "RUCHE_QUICK"),
             threads,
@@ -64,6 +79,7 @@ impl Opts {
             verify_only: flag("--verify-only", "RUCHE_VERIFY_ONLY"),
             telemetry: flag("--telemetry", "RUCHE_TELEMETRY"),
             degradation: flag("--degradation", "RUCHE_DEGRADATION"),
+            step_threads,
         }
     }
 
@@ -76,6 +92,7 @@ impl Opts {
             verify_only: false,
             telemetry: false,
             degradation: false,
+            step_threads: 0,
         }
     }
 
@@ -96,6 +113,12 @@ impl Opts {
     /// Disables the on-disk sweep cache.
     pub fn without_cache(mut self) -> Self {
         self.no_cache = true;
+        self
+    }
+
+    /// Overrides the step-level shard thread count (0 = serial steps).
+    pub fn with_step_threads(mut self, step_threads: usize) -> Self {
+        self.step_threads = step_threads;
         self
     }
 }
@@ -172,6 +195,23 @@ mod tests {
         assert!(Opts::parse(&strs(&["bench"]), env).degradation);
         assert!(!Opts::parse(&strs(&["bench"]), NO_ENV).degradation);
         assert!(!Opts::full().degradation);
+    }
+
+    #[test]
+    fn parses_step_threads_flag_env_and_default() {
+        assert_eq!(Opts::parse(&strs(&["bench"]), NO_ENV).step_threads, 0);
+        let o = Opts::parse(&strs(&["bench", "--step-threads", "4"]), NO_ENV);
+        assert_eq!(o.step_threads, 4);
+        let o = Opts::parse(&strs(&["bench", "--step-threads=2"]), NO_ENV);
+        assert_eq!(o.step_threads, 2);
+        let env = |k: &str| (k == "RUCHE_STEP_THREADS").then(|| "3".to_string());
+        assert_eq!(Opts::parse(&strs(&["bench"]), env).step_threads, 3);
+        // An explicit flag beats the environment.
+        assert_eq!(
+            Opts::parse(&strs(&["bench", "--step-threads=8"]), env).step_threads,
+            8
+        );
+        assert_eq!(Opts::full().with_step_threads(4).step_threads, 4);
     }
 
     #[test]

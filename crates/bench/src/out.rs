@@ -3,7 +3,16 @@
 use std::path::PathBuf;
 
 /// The repository `results/` directory (created on demand).
+///
+/// `RUCHE_RESULTS_DIR` redirects every artifact and cache file, letting
+/// tests and scripted comparisons run the bench binaries against isolated
+/// output directories.
 pub fn results_dir() -> PathBuf {
+    if let Ok(d) = std::env::var("RUCHE_RESULTS_DIR") {
+        let p = PathBuf::from(d);
+        std::fs::create_dir_all(&p).expect("create results dir");
+        return p;
+    }
     // The bench runs from the workspace (or a member) directory; walk up
     // until a `Cargo.toml` with a `[workspace]` is found, else use cwd.
     let mut dir = std::env::current_dir().expect("cwd");

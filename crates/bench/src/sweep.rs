@@ -235,6 +235,7 @@ impl SweepCache {
 #[derive(Debug)]
 pub struct SweepRunner {
     threads: usize,
+    step_threads: usize,
     cache: SweepCache,
     cache_enabled: bool,
     /// Jobs served from the cache across this runner's lifetime.
@@ -244,10 +245,21 @@ pub struct SweepRunner {
 }
 
 impl SweepRunner {
-    /// A runner honoring `opts` (thread count, cache enable).
+    /// A runner honoring `opts` (thread count, cache enable, step-level
+    /// parallelism). When `opts.step_threads > 1`, run-level parallelism is
+    /// traded for step-level: the worker-pool width is divided by the
+    /// step-thread count (each simulation shards its own `Network::step`
+    /// across that many threads instead). Results are byte-identical either
+    /// way, so the cache is shared across the trade-off.
     pub fn new(opts: Opts) -> Self {
+        let threads = if opts.step_threads > 1 {
+            (opts.threads / opts.step_threads).max(1)
+        } else {
+            opts.threads
+        };
         SweepRunner {
-            threads: opts.threads,
+            threads,
+            step_threads: opts.step_threads,
             cache: if opts.no_cache {
                 SweepCache::default()
             } else {
@@ -263,6 +275,7 @@ impl SweepRunner {
     pub fn uncached(threads: usize) -> Self {
         SweepRunner {
             threads,
+            step_threads: 0,
             cache: SweepCache::default(),
             cache_enabled: false,
             cache_hits: 0,
@@ -270,9 +283,23 @@ impl SweepRunner {
         }
     }
 
+    /// Shards every simulated job's `Network::step` across `step_threads`
+    /// threads (tests; [`SweepRunner::new`] derives this from its opts).
+    /// Unlike `new`, the run-level width is left untouched.
+    pub fn with_step_threads(mut self, step_threads: usize) -> Self {
+        self.step_threads = step_threads;
+        self
+    }
+
     /// The worker-pool width this runner uses.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The step-level shard thread count applied to simulated jobs
+    /// (0 = serial steps).
+    pub fn step_threads(&self) -> usize {
+        self.step_threads
     }
 
     /// Runs every job, in parallel, returning `results[i]` for `jobs[i]`.
@@ -298,7 +325,7 @@ impl SweepRunner {
         }
 
         if !misses.is_empty() {
-            let computed = run_pool(jobs, &misses, self.threads);
+            let computed = run_pool(jobs, &misses, self.threads, self.step_threads);
             for (&i, res) in misses.iter().zip(computed) {
                 if self.cache_enabled && !jobs[i].per_tile {
                     self.cache.insert(jobs[i].key(), scrub_per_tile(&res));
@@ -327,8 +354,16 @@ fn scrub_per_tile(res: &TbResult) -> TbResult {
 
 /// Runs `jobs[misses[..]]` on a scoped worker pool; returns results in
 /// `misses` order. Workers pull the next job index from a shared atomic
-/// cursor, so scheduling is dynamic but the output order is fixed.
-fn run_pool(jobs: &[SweepJob], misses: &[usize], threads: usize) -> Vec<TbResult> {
+/// cursor, so scheduling is dynamic but the output order is fixed. A
+/// non-zero `step_threads` shards each simulation's `Network::step` (the
+/// sharded engine is byte-identical to the serial one, so this only
+/// changes where the parallelism lives).
+fn run_pool(
+    jobs: &[SweepJob],
+    misses: &[usize],
+    threads: usize,
+    step_threads: usize,
+) -> Vec<TbResult> {
     let workers = threads.min(misses.len()).max(1);
     let slots: Vec<Mutex<Option<TbResult>>> = misses.iter().map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
@@ -338,7 +373,12 @@ fn run_pool(jobs: &[SweepJob], misses: &[usize], threads: usize) -> Vec<TbResult
                 let k = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(&i) = misses.get(k) else { break };
                 let job = &jobs[i];
-                let res = ruche_traffic::run(&job.cfg, &job.tb)
+                let cfg = if step_threads > 0 {
+                    job.cfg.clone().with_step_threads(step_threads)
+                } else {
+                    job.cfg.clone()
+                };
+                let res = ruche_traffic::run(&cfg, &job.tb)
                     .unwrap_or_else(|e| panic!("sweep job {i} cannot run: {e}"));
                 *slots[k].lock().expect("slot lock") = Some(res);
             });
@@ -404,6 +444,50 @@ mod tests {
         assert!(cache
             .get(&SweepJob::new(NetworkConfig::torus(dims), quick_tb(0.05)).key())
             .is_none());
+    }
+
+    #[test]
+    fn step_threads_does_not_change_the_cache_key() {
+        let dims = Dims::new(8, 8);
+        let tb = quick_tb(0.1);
+        let serial = SweepJob::new(NetworkConfig::mesh(dims), tb.clone());
+        let sharded = SweepJob::new(NetworkConfig::mesh(dims).with_step_threads(4), tb.clone());
+        assert_eq!(
+            serial.key(),
+            sharded.key(),
+            "sharded and serial runs are byte-identical, so they must share \
+             a cache entry"
+        );
+        // And therefore a result computed serially is a hit for a sharded
+        // run (and vice versa).
+        let mut cache = SweepCache::default();
+        let tb4 = quick_tb(0.05);
+        let a = SweepJob::new(NetworkConfig::mesh(Dims::new(4, 4)), tb4.clone());
+        let b = SweepJob::new(
+            NetworkConfig::mesh(Dims::new(4, 4)).with_step_threads(2),
+            tb4,
+        );
+        let res = ruche_traffic::run(&a.cfg, &a.tb).unwrap();
+        cache.insert(a.key(), res);
+        assert!(
+            cache.get(&b.key()).is_some(),
+            "cache hits must be thread-count-independent"
+        );
+    }
+
+    #[test]
+    fn step_threads_divide_the_run_pool() {
+        let opts = Opts::full()
+            .without_cache()
+            .with_threads(8)
+            .with_step_threads(4);
+        let runner = SweepRunner::new(opts);
+        assert_eq!(runner.threads(), 2, "run-level threads divided");
+        assert_eq!(runner.step_threads(), 4);
+        // Serial steps leave the pool width alone; narrow pools floor at 1.
+        assert_eq!(SweepRunner::new(Opts::full().with_threads(8)).threads(), 8);
+        let narrow = Opts::full().with_threads(2).with_step_threads(8);
+        assert_eq!(SweepRunner::new(narrow).threads(), 1);
     }
 
     #[test]

@@ -8,8 +8,9 @@ use ruche_stats::fmt_f;
 use ruche_traffic::{Pattern, Testbench};
 
 /// Renders the Figure 6 quick curve rows for one pattern at the given
-/// worker-pool width, exactly as `figures::fig6` formats them.
-fn fig6_quick_rows(threads: usize) -> String {
+/// worker-pool width and step-level shard thread count, exactly as
+/// `figures::fig6` formats them.
+fn fig6_quick_rows_sharded(threads: usize, step_threads: usize) -> String {
     let dims = Dims::new(8, 8);
     let rates = [0.02, 0.10, 0.20, 0.30, 0.45];
     let pattern = Pattern::UniformRandom;
@@ -22,7 +23,9 @@ fn fig6_quick_rows(threads: usize) -> String {
             .expect("smoke testbench is valid");
         jobs.extend(sweep::curve_jobs(&cfg, &proto, &rates));
     }
-    let results = SweepRunner::uncached(threads).run_all(&jobs);
+    let results = SweepRunner::uncached(threads)
+        .with_step_threads(step_threads)
+        .run_all(&jobs);
     let mut out = String::new();
     for (job, res) in jobs.iter().zip(&results) {
         let pt = sweep::curve_point(res);
@@ -40,8 +43,21 @@ fn fig6_quick_rows(threads: usize) -> String {
 
 #[test]
 fn parallel_fig6_sweep_is_byte_identical_to_serial() {
-    let serial = fig6_quick_rows(1);
-    let parallel = fig6_quick_rows(4);
+    let serial = fig6_quick_rows_sharded(1, 0);
+    let parallel = fig6_quick_rows_sharded(4, 0);
     assert!(!serial.is_empty());
     assert_eq!(serial, parallel, "CSV rows must not depend on thread count");
+}
+
+#[test]
+fn step_level_parallelism_is_byte_identical_to_run_level() {
+    // One worker stepping each network across 4 shard threads must render
+    // the same bytes as 4 workers stepping serially.
+    let step_level = fig6_quick_rows_sharded(1, 4);
+    let run_level = fig6_quick_rows_sharded(4, 0);
+    assert!(!step_level.is_empty());
+    assert_eq!(
+        step_level, run_level,
+        "CSV rows must not depend on where the parallelism lives"
+    );
 }

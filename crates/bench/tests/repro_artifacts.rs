@@ -1,0 +1,86 @@
+//! The full `repro --quick` artifact set must be byte-identical whether
+//! every network steps serially or across four shard threads — the
+//! end-to-end form of the determinism guarantee in `docs/PARALLELISM.md`.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// Runs the real `repro` binary with the given `RUCHE_STEP_THREADS`,
+/// redirecting artifacts into `dir` and bypassing the run cache so both
+/// engines actually simulate every point.
+fn run_repro(step_threads: &str, dir: &Path) {
+    let status = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--quick", "--telemetry"])
+        .env("RUCHE_STEP_THREADS", step_threads)
+        .env("RUCHE_RESULTS_DIR", dir)
+        .env("RUCHE_NO_CACHE", "1")
+        .env("RUCHE_THREADS", "2")
+        .stdout(std::process::Stdio::null())
+        .status()
+        .expect("repro binary runs");
+    assert!(
+        status.success(),
+        "repro --quick failed with RUCHE_STEP_THREADS={step_threads}"
+    );
+}
+
+/// Collects every artifact in `dir` keyed by file name. Cache files
+/// (`*.tsv`) are skipped: they are keyed stores, not rendered artifacts,
+/// and their append order may legitimately differ between runs.
+fn artifacts(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    for entry in std::fs::read_dir(dir).expect("read results dir") {
+        let entry = entry.expect("dir entry");
+        let name = entry.file_name().into_string().expect("utf-8 file name");
+        if name.ends_with(".tsv") {
+            continue;
+        }
+        out.insert(name, std::fs::read(entry.path()).expect("read artifact"));
+    }
+    out
+}
+
+#[test]
+#[ignore = "runs two full quick repro sweeps (~minutes); exercised by the dedicated CI step"]
+fn quick_repro_artifacts_are_byte_identical_across_step_threads() {
+    let base = std::env::temp_dir().join(format!("ruche_step_artifacts_{}", std::process::id()));
+    let serial_dir: PathBuf = base.join("serial");
+    let sharded_dir: PathBuf = base.join("sharded");
+    run_repro("1", &serial_dir);
+    run_repro("4", &sharded_dir);
+
+    let serial = artifacts(&serial_dir);
+    let sharded = artifacts(&sharded_dir);
+    let names: Vec<&str> = serial.keys().map(String::as_str).collect();
+    for expected in [
+        "ablations.csv",
+        "fig6_synthetic_curves.csv",
+        "fig7_area_vs_cycle.csv",
+        "fig8_fairness.csv",
+        "fig9_half_ruche_curves.csv",
+        "fig10_speedup.csv",
+        "fig11_scalability.csv",
+        "fig12_load_latency.csv",
+        "fig13_energy.csv",
+        "table6_summary.csv",
+        "telemetry_fig6_mesh.json",
+        "telemetry_fig8_torus.json",
+    ] {
+        assert!(names.contains(&expected), "missing artifact {expected}");
+    }
+    assert_eq!(
+        serial.keys().collect::<Vec<_>>(),
+        sharded.keys().collect::<Vec<_>>(),
+        "the two engines must write the same artifact set"
+    );
+    for (name, bytes) in &serial {
+        assert_eq!(
+            Some(bytes),
+            sharded.get(name),
+            "artifact {name} differs between step_threads=1 and step_threads=4"
+        );
+    }
+
+    std::fs::remove_dir_all(&base).ok();
+}

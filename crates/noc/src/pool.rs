@@ -1,0 +1,284 @@
+//! A persistent worker pool for the sharded step (see [`crate::shard`]).
+//!
+//! [`StepPool::run_parts`] distributes one mutable *part* per task index
+//! over a fixed set of parked worker threads plus the calling thread, and
+//! returns when every task has finished — one epoch. Workers park on a
+//! condvar between epochs, so a pool owned by an idle [`Network`] costs
+//! nothing, and no thread is ever spawned inside the cycle loop (the
+//! steady-state step stays allocation-free per worker).
+//!
+//! Synchronization is a single mutex-guarded epoch counter: the caller
+//! publishes a job and bumps the epoch, workers wake, claim task indices
+//! from a shared cursor, and the caller blocks until the unfinished count
+//! reaches zero. Which worker runs which task is scheduling-dependent, but
+//! every task sees only its own part, so results never depend on the
+//! assignment — the determinism argument lives in `docs/PARALLELISM.md`.
+//!
+//! [`Network`]: crate::sim::Network
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Lifetime-erased pointer to the epoch's task closure. Only valid while
+/// the publishing `run_parts` call is blocked waiting for the epoch to
+/// finish; workers never hold it across epochs.
+struct Job(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the closure behind the pointer is `Sync` (shared calls are fine)
+// and `run_parts` keeps its referent alive until every task completed.
+unsafe impl Send for Job {}
+
+struct State {
+    /// Bumped once per `run_parts` call; workers wake when it moves.
+    epoch: u64,
+    job: Option<Job>,
+    n_tasks: usize,
+    /// Next unclaimed task index.
+    next: usize,
+    /// Tasks claimed or unclaimed but not yet finished this epoch.
+    unfinished: usize,
+    /// Set when a task panicked; re-raised by the caller after the barrier.
+    panicked: bool,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Workers park here between epochs.
+    start: Condvar,
+    /// The caller parks here until `unfinished` reaches zero.
+    done: Condvar,
+}
+
+/// A fixed-size pool of persistent, parked worker threads driven by an
+/// epoch counter (created once per [`Network`](crate::sim::Network), never
+/// per cycle).
+pub struct StepPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for StepPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StepPool")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+/// Raw base pointer of the parts slice, shareable with workers.
+struct PartsPtr<T>(*mut T);
+
+// SAFETY: each task index is claimed exactly once per epoch, so distinct
+// workers dereference disjoint elements; `T: Send` lets the element be
+// mutated from another thread.
+unsafe impl<T: Send> Send for PartsPtr<T> {}
+unsafe impl<T: Send> Sync for PartsPtr<T> {}
+
+impl StepPool {
+    /// Spawns `workers` parked threads (the thread calling
+    /// [`StepPool::run_parts`] participates too, so a pool serving `k`
+    /// shards wants `k - 1` workers).
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                epoch: 0,
+                job: None,
+                n_tasks: 0,
+                next: 0,
+                unfinished: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            start: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let sh = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name("ruche-step".into())
+                    .spawn(move || worker_loop(&sh))
+                    .expect("spawn step worker")
+            })
+            .collect();
+        StepPool {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// Number of pooled worker threads (excluding the caller).
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs `f(i, &mut parts[i])` for every `i`, distributing indices over
+    /// the pooled workers and the calling thread; returns once all parts
+    /// are done (the epoch barrier).
+    ///
+    /// # Panics
+    ///
+    /// Panics (after the barrier, so no task is left running) if any task
+    /// panicked.
+    pub fn run_parts<T, F>(&self, parts: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        let n = parts.len();
+        if n == 0 {
+            return;
+        }
+        let base = PartsPtr(parts.as_mut_ptr());
+        let call = move |i: usize| {
+            // Capture the whole `PartsPtr` wrapper (not its raw-pointer
+            // field) so the closure stays `Sync` under disjoint capture.
+            let base = &base;
+            debug_assert!(i < n);
+            // SAFETY: `i` is claimed exactly once per epoch (mutex-guarded
+            // cursor), so this is the only live reference to `parts[i]`.
+            let part = unsafe { &mut *base.0.add(i) };
+            f(i, part);
+        };
+        let erased: *const (dyn Fn(usize) + Sync) = &call;
+        // SAFETY: lifetime erasure only. This function does not return (and
+        // `call` / `f` / `parts` stay alive) until `unfinished == 0`, i.e.
+        // until no worker can still dereference the pointer.
+        let erased: *const (dyn Fn(usize) + Sync + 'static) =
+            unsafe { std::mem::transmute(erased) };
+        {
+            let mut st = self.shared.state.lock().expect("step pool lock");
+            st.epoch += 1;
+            st.job = Some(Job(erased));
+            st.n_tasks = n;
+            st.next = 0;
+            st.unfinished = n;
+            self.shared.start.notify_all();
+        }
+        // Participate in the epoch, then wait out whatever the workers
+        // still hold.
+        run_tasks(&self.shared);
+        let mut st = self.shared.state.lock().expect("step pool lock");
+        while st.unfinished > 0 {
+            st = self.shared.done.wait(st).expect("step pool lock");
+        }
+        st.job = None;
+        if std::mem::take(&mut st.panicked) {
+            drop(st);
+            panic!("a step-pool task panicked");
+        }
+    }
+}
+
+impl Drop for StepPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("step pool lock");
+            st.shutdown = true;
+            self.shared.start.notify_all();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Claims and runs tasks of the current epoch until none remain. Shared by
+/// the workers and the publishing caller.
+fn run_tasks(shared: &Shared) {
+    loop {
+        let (job, i) = {
+            let mut st = shared.state.lock().expect("step pool lock");
+            if st.next >= st.n_tasks {
+                return;
+            }
+            let i = st.next;
+            st.next += 1;
+            (st.job.as_ref().expect("job published with its tasks").0, i)
+        };
+        // Catch panics so the epoch always completes and the barrier never
+        // hangs; the caller re-raises after the last task finishes.
+        // SAFETY: the job pointer is valid for the whole epoch (see
+        // `run_parts`), and this task index was claimed exactly once.
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe { (*job)(i) }));
+        let mut st = shared.state.lock().expect("step pool lock");
+        if outcome.is_err() {
+            st.panicked = true;
+        }
+        st.unfinished -= 1;
+        if st.unfinished == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut seen = 0u64;
+    loop {
+        {
+            let mut st = shared.state.lock().expect("step pool lock");
+            while !st.shutdown && st.epoch == seen {
+                st = shared.start.wait(st).expect("step pool lock");
+            }
+            if st.shutdown {
+                return;
+            }
+            seen = st.epoch;
+        }
+        run_tasks(shared);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_part_runs_exactly_once() {
+        let pool = StepPool::new(3);
+        let mut parts: Vec<u64> = vec![0; 17];
+        pool.run_parts(&mut parts, |i, p| *p += i as u64 + 1);
+        let expect: Vec<u64> = (0..17).map(|i| i + 1).collect();
+        assert_eq!(parts, expect);
+    }
+
+    #[test]
+    fn epochs_reuse_the_same_workers() {
+        let pool = StepPool::new(2);
+        let mut parts = vec![0u32; 5];
+        for _ in 0..100 {
+            pool.run_parts(&mut parts, |_, p| *p += 1);
+        }
+        assert!(parts.iter().all(|&p| p == 100), "{parts:?}");
+    }
+
+    #[test]
+    fn zero_workers_runs_on_the_caller() {
+        let pool = StepPool::new(0);
+        let mut parts = vec![false; 4];
+        pool.run_parts(&mut parts, |_, p| *p = true);
+        assert!(parts.iter().all(|&p| p));
+    }
+
+    #[test]
+    fn empty_parts_is_a_no_op() {
+        let pool = StepPool::new(2);
+        let mut parts: Vec<u8> = vec![];
+        pool.run_parts(&mut parts, |_, _| unreachable!("no tasks"));
+    }
+
+    #[test]
+    fn task_panics_surface_after_the_barrier() {
+        let pool = StepPool::new(2);
+        let mut parts = vec![0u8; 6];
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run_parts(&mut parts, |i, _| assert!(i != 3, "boom"));
+        }));
+        assert!(res.is_err());
+        // The pool survives for further epochs.
+        pool.run_parts(&mut parts, |_, p| *p = 9);
+        assert!(parts.iter().all(|&p| p == 9));
+    }
+}

@@ -13,9 +13,12 @@
 //!   peak crossbar bandwidth relative to a 2× multi-mesh (Figure 3).
 //!
 //! The per-cycle evaluation lives in [`crate::sim`]; this module holds the
-//! state that persists between cycles.
+//! buffer and flow-control state that persists between cycles. Arbiter and
+//! allocator state (round-robin pointers, wavefront priority) lives in
+//! [`crate::sim::Network`]-level arrays instead of here: the sharded plan
+//! phase reads *all* routers immutably while mutating only shard-owned
+//! arbiters, so the two must live in separate allocations.
 
-use crate::arbiter::{RoundRobin, Wavefront};
 use crate::fifo::Fifo;
 use crate::geometry::{Coord, Dir};
 use crate::packet::Flit;
@@ -31,9 +34,6 @@ pub type Assignment = (usize, u8);
 pub struct InputPort {
     /// Per-VC flit FIFOs (wormhole ports have exactly one VC).
     pub vcs: Vec<Fifo<Flit>>,
-    /// Round-robin selector among this port's VCs (VC routers only; an
-    /// input port can present at most one flit per cycle to the switch).
-    pub rr_vc: RoundRobin,
     /// Per-VC route assignment for the packet in progress (set at head,
     /// cleared at tail).
     pub assigned: Vec<Option<Assignment>>,
@@ -43,7 +43,6 @@ impl InputPort {
     fn new(vcs: usize, depth: usize) -> Self {
         InputPort {
             vcs: (0..vcs).map(|_| Fifo::new(depth)).collect(),
-            rr_vc: RoundRobin::new(vcs),
             assigned: vec![None; vcs],
         }
     }
@@ -54,7 +53,7 @@ impl InputPort {
     }
 }
 
-/// One router output port: downstream credit state and arbitration state.
+/// One router output port: downstream credit state and path ownership.
 #[derive(Debug, Clone)]
 pub struct OutputPort {
     /// Credits per downstream VC (meaningful when `counted` is true).
@@ -62,8 +61,6 @@ pub struct OutputPort {
     /// Whether this output tracks credits (false for endpoint sinks, which
     /// always accept one flit per cycle).
     pub counted: bool,
-    /// Round-robin arbiter over the router's input ports (wormhole).
-    pub rr: RoundRobin,
     /// Wormhole path lock: input port that owns this output until its
     /// packet's tail passes.
     pub lock: Option<usize>,
@@ -73,11 +70,10 @@ pub struct OutputPort {
 }
 
 impl OutputPort {
-    fn new(n_inputs: usize, downstream_vcs: usize, downstream_depth: usize, counted: bool) -> Self {
+    fn new(downstream_vcs: usize, downstream_depth: usize, counted: bool) -> Self {
         OutputPort {
             credits: vec![downstream_depth as u32; downstream_vcs],
             counted,
-            rr: RoundRobin::new(n_inputs),
             lock: None,
             vc_owner: vec![None; downstream_vcs],
         }
@@ -90,8 +86,7 @@ impl OutputPort {
     }
 }
 
-/// Per-router state: coordinate, input buffers, output arbitration, and the
-/// switch allocator for VC routers.
+/// Per-router state: coordinate, input buffers, and output flow control.
 #[derive(Debug, Clone)]
 pub struct Router {
     /// Tile coordinate.
@@ -100,8 +95,6 @@ pub struct Router {
     pub inputs: Vec<InputPort>,
     /// Output ports, same indexing.
     pub outputs: Vec<OutputPort>,
-    /// Wavefront switch allocator (VC routers; unused by wormhole).
-    pub allocator: Wavefront,
 }
 
 impl Router {
@@ -119,14 +112,13 @@ impl Router {
             .map(|(&d, &counted)| {
                 // The downstream input port mirrors this output's direction
                 // class, so its VC count matches this port's.
-                OutputPort::new(ports.len(), cfg.vcs(d), cfg.fifo_depth, counted)
+                OutputPort::new(cfg.vcs(d), cfg.fifo_depth, counted)
             })
             .collect();
         Router {
             coord,
             inputs,
             outputs,
-            allocator: Wavefront::new(ports.len(), ports.len()),
         }
     }
 

@@ -1,0 +1,225 @@
+//! Shard geometry and per-shard scratch state for the multi-threaded step.
+//!
+//! The router grid is cut into contiguous **row bands**. Node indices are
+//! row-major ([`Dims::index`](crate::geometry::Dims::index)), so each band
+//! is a contiguous node-index range and the sorted active worklist splits
+//! into per-shard slices with a binary search. Ruche channels skip up to
+//! `ruche_factor` columns but never rows, and row channels stay inside
+//! their band, so a channel crosses at most as many shard boundaries as a
+//! unit-hop column channel — remote effects in the commit phase (FIFO
+//! pushes and credit returns into another band) are routed through each
+//! shard's boundary **mailbox** ([`Mail`]) and drained by the coordinating
+//! thread in shard order, which is exactly canonical (node, port, vc)
+//! order. See `docs/PARALLELISM.md` for the full determinism argument.
+
+use crate::geometry::Dims;
+use crate::packet::Flit;
+use crate::sim::EndpointId;
+use crate::telemetry::BlockCause;
+use std::ops::Range;
+
+/// Hard cap on the shard count (and thus on useful `step_threads`). Keeps
+/// per-cycle chunk descriptors on the stack.
+pub const MAX_SHARDS: usize = 32;
+
+/// Partition of a router grid into contiguous row bands.
+///
+/// The band count is `min(threads, rows, MAX_SHARDS)`, so every band holds
+/// at least one full row. Degenerate single-column grids (1×N lines)
+/// collapse to a single shard — banding a 1-wide line buys nothing and the
+/// serial path is faster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    /// `count() + 1` node-index cut points; band `s` is `bounds[s]..bounds[s + 1]`.
+    bounds: Vec<usize>,
+}
+
+impl ShardMap {
+    /// Partitions `dims` into up to `threads` row bands.
+    pub fn new(dims: Dims, threads: usize) -> Self {
+        let rows = dims.rows as usize;
+        let cols = dims.cols as usize;
+        let k = if cols <= 1 {
+            1
+        } else {
+            threads.max(1).min(rows).min(MAX_SHARDS)
+        };
+        let bounds = (0..=k).map(|s| (s * rows / k) * cols).collect();
+        ShardMap { bounds }
+    }
+
+    /// Number of shards (at least 1).
+    pub fn count(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Node-index range owned by shard `s`.
+    pub fn range(&self, s: usize) -> Range<usize> {
+        self.bounds[s]..self.bounds[s + 1]
+    }
+
+    /// The shard owning `node`.
+    pub fn shard_of(&self, node: usize) -> usize {
+        debug_assert!(node < *self.bounds.last().expect("bounds non-empty"));
+        self.bounds.partition_point(|&b| b <= node) - 1
+    }
+}
+
+/// A planned link traversal: move the flit at the head of
+/// `(node, in_port, in_vc)` to downstream of `(node, out_port)` on `out_vc`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Transfer {
+    pub node: usize,
+    pub in_port: usize,
+    pub in_vc: usize,
+    pub out_port: usize,
+    pub out_vc: usize,
+}
+
+/// A cross-shard side effect of the commit phase, applied by the
+/// coordinator after the commit barrier (in shard order, which equals
+/// canonical node order).
+#[derive(Debug, Clone)]
+pub(crate) enum Mail {
+    /// Push `flit` into input FIFO `(node, port, vc)` of a router in
+    /// another shard.
+    Push {
+        node: usize,
+        port: usize,
+        vc: usize,
+        flit: Flit,
+    },
+    /// Return one credit to output `(node, port, vc)` of a router in
+    /// another shard.
+    Credit { node: usize, port: usize, vc: usize },
+}
+
+/// Scratch and staging state owned by one shard. All buffers are reused
+/// across cycles (cleared, never shrunk), preserving the allocation-free
+/// steady state per worker.
+#[derive(Debug)]
+pub(crate) struct ShardState {
+    /// First node index owned by this shard.
+    pub first_node: usize,
+    /// Number of nodes owned by this shard.
+    pub n_nodes: usize,
+    /// Grants planned this cycle, in ascending node order.
+    pub transfers: Vec<Transfer>,
+    /// Per-output request bitmasks for the node being planned.
+    pub req_mask: Vec<u32>,
+    /// VC router: chosen (vc, out_port, out_vc) per input of the node
+    /// being planned.
+    pub chosen: Vec<Option<(usize, usize, u8)>>,
+    /// VC router: switch-allocator grants for the node being planned.
+    pub grants: Vec<Option<usize>>,
+    /// Telemetry events `(node, port, vc, cause)` logged during the plan
+    /// phase, replayed into the shared sink in shard order.
+    pub blocked: Vec<(u32, u16, u8, BlockCause)>,
+    /// Cross-shard pushes and credit returns (see [`Mail`]).
+    pub outbox: Vec<Mail>,
+    /// Flits ejected to endpoints this cycle (zero pipeline stages).
+    pub ejected: Vec<(EndpointId, Flit)>,
+    /// Pipelined link traversals `(arrival, node, port, vc, flit)` bound
+    /// for the global in-transit queue.
+    pub staged_transit: Vec<(u64, usize, usize, usize, Flit)>,
+    /// Pipelined ejections `(arrival, endpoint, flit)` bound for the global
+    /// ejection-transit queue.
+    pub staged_eject: Vec<(u64, EndpointId, Flit)>,
+    /// In-shard routers activated by a committed push, merged into the
+    /// global worklist by the coordinator.
+    pub newly_active: Vec<u32>,
+}
+
+impl ShardState {
+    /// Creates the state for the shard owning `range`, in a network with
+    /// `np` ports per router.
+    pub fn new(range: Range<usize>, np: usize) -> Self {
+        let n_nodes = range.len();
+        // One transfer per (node, output port) is the per-cycle maximum;
+        // every staging buffer below is bounded by it. Sizing them all to
+        // that maximum up front keeps the steady-state step allocation-free
+        // even when a late cycle first exercises a rare path (e.g. a burst
+        // of boundary crossings).
+        let cap = n_nodes * np;
+        ShardState {
+            first_node: range.start,
+            n_nodes,
+            transfers: Vec::with_capacity(cap),
+            req_mask: vec![0; np],
+            chosen: vec![None; np],
+            grants: vec![None; np],
+            blocked: Vec::new(),
+            outbox: Vec::with_capacity(cap),
+            ejected: Vec::with_capacity(n_nodes),
+            staged_transit: Vec::with_capacity(cap),
+            staged_eject: Vec::with_capacity(n_nodes),
+            newly_active: Vec::with_capacity(n_nodes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bands_cover_the_grid_contiguously() {
+        let dims = Dims::new(6, 10);
+        let map = ShardMap::new(dims, 4);
+        assert_eq!(map.count(), 4);
+        let mut next = 0;
+        for s in 0..map.count() {
+            let r = map.range(s);
+            assert_eq!(r.start, next, "band {s} starts where band {} ended", s + 1);
+            assert!(!r.is_empty(), "band {s} is empty");
+            assert_eq!(r.start % dims.cols as usize, 0, "band {s} starts mid-row");
+            next = r.end;
+        }
+        assert_eq!(next, dims.count());
+    }
+
+    #[test]
+    fn shard_of_inverts_range() {
+        let map = ShardMap::new(Dims::new(5, 9), 3);
+        for s in 0..map.count() {
+            for node in map.range(s) {
+                assert_eq!(map.shard_of(node), s);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_count_clamps_to_rows() {
+        assert_eq!(ShardMap::new(Dims::new(16, 3), 8).count(), 3);
+        assert_eq!(ShardMap::new(Dims::new(16, 1), 8).count(), 1);
+    }
+
+    #[test]
+    fn degenerate_lines_collapse_to_one_shard() {
+        // 1×N (single column): banding a 1-wide line is pure overhead.
+        assert_eq!(ShardMap::new(Dims::new(1, 64), 8).count(), 1);
+        // N×1 (single row): clamped by the row count.
+        assert_eq!(ShardMap::new(Dims::new(64, 1), 8).count(), 1);
+    }
+
+    #[test]
+    fn rows_distribute_evenly() {
+        let dims = Dims::new(4, 10);
+        let map = ShardMap::new(dims, 3);
+        let rows: Vec<usize> = (0..map.count())
+            .map(|s| map.range(s).len() / dims.cols as usize)
+            .collect();
+        assert_eq!(rows.iter().sum::<usize>(), 10);
+        assert!(rows.iter().all(|&r| (3..=4).contains(&r)), "{rows:?}");
+    }
+
+    #[test]
+    fn zero_threads_means_one_shard() {
+        assert_eq!(ShardMap::new(Dims::new(8, 8), 0).count(), 1);
+    }
+
+    #[test]
+    fn shard_count_is_capped() {
+        assert_eq!(ShardMap::new(Dims::new(2, 500), 500).count(), MAX_SHARDS);
+    }
+}

@@ -13,13 +13,16 @@
 //! flow control and a wavefront switch allocator; credits return with a
 //! one-cycle latency, which the two-element FIFOs exactly cover.
 
+use crate::arbiter::{RoundRobin, Wavefront};
 use crate::crossbar::Connectivity;
 use crate::error::Error;
 use crate::fault::{FaultModel, RouteTable};
 use crate::geometry::{Coord, Dir};
 use crate::packet::Flit;
+use crate::pool::StepPool;
 use crate::router::Router;
 use crate::routing::{compute_route, Dest};
+use crate::shard::{Mail, ShardMap, ShardState, Transfer, MAX_SHARDS};
 use crate::telemetry::{BlockCause, NetTelemetry};
 use crate::topology::{ConfigError, NetworkConfig};
 use std::collections::VecDeque;
@@ -73,15 +76,6 @@ enum LinkTarget {
     Endpoint(EndpointId),
     /// Tied off (array edge).
     None,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Transfer {
-    node: usize,
-    in_port: usize,
-    in_vc: usize,
-    out_port: usize,
-    out_vc: usize,
 }
 
 /// Aggregate motion counters.
@@ -257,18 +251,26 @@ pub struct Network {
     active_src: Vec<u32>,
     on_active_src: Vec<bool>,
     active_src_dirty: bool,
-    // Reusable scratch (all allocated once at construction: the cycle loop
-    // performs no heap allocation in steady state).
-    scratch_transfers: Vec<Transfer>,
-    /// Per-port request bitmasks: per-output masks of inputs (wormhole) or
-    /// per-input masks of outputs (VC allocator).
-    scratch_req_mask: Vec<u32>,
-    /// VC plan: per-input (in_vc, out_port, out_vc) surviving VC selection.
-    scratch_chosen: Vec<Option<(usize, usize, u8)>>,
-    /// VC plan: allocator grant buffer.
-    scratch_grants: Vec<Option<usize>>,
-    /// Endpoints planned to inject this cycle.
+    /// Endpoints planned to inject this cycle (reusable scratch; the cycle
+    /// loop performs no heap allocation in steady state).
     scratch_inject: Vec<u32>,
+    /// Wormhole round-robin arbiters, one per (node, output port). Lives
+    /// outside [`Router`] so the plan phase can mutate shard-owned arbiter
+    /// state while sharing all routers immutably. Empty for VC networks.
+    out_rr: Vec<RoundRobin>,
+    /// VC-router per-input VC selectors, one per (node, input port).
+    /// Empty for wormhole networks.
+    in_rr_vc: Vec<RoundRobin>,
+    /// VC-router wavefront switch allocators, one per node. Empty for
+    /// wormhole networks.
+    sw_alloc: Vec<Wavefront>,
+    /// Row-band partition of the grid (a single shard when serial).
+    shard_map: ShardMap,
+    /// Per-shard scratch and staging state (transfers, mailboxes,
+    /// telemetry logs); one entry per shard, reused every cycle.
+    shards: Vec<ShardState>,
+    /// Persistent worker pool driving the shards (`None` when serial).
+    pool: Option<StepPool>,
     /// Attached per-link instrumentation; `None` (the default) keeps the
     /// cycle loop allocation-free and branch-cheap.
     telemetry: Option<Box<NetTelemetry>>,
@@ -393,6 +395,36 @@ impl Network {
             })
             .collect();
 
+        // Arbiter and allocator state lives in per-node arrays parallel to
+        // `routers` (see `crate::router`): the plan phase mutates only the
+        // shard-owned slices while reading every router immutably.
+        let is_vc = cfg.is_vc_router();
+        let out_rr: Vec<RoundRobin> = if is_vc {
+            Vec::new()
+        } else {
+            vec![RoundRobin::new(np); n_nodes * np]
+        };
+        let in_rr_vc: Vec<RoundRobin> = if is_vc {
+            (0..n_nodes)
+                .flat_map(|_| ports.iter().map(|&p| RoundRobin::new(cfg.vcs(p))))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let sw_alloc: Vec<Wavefront> = if is_vc {
+            vec![Wavefront::new(np, np); n_nodes]
+        } else {
+            Vec::new()
+        };
+
+        let shard_map = ShardMap::new(dims, resolve_step_threads(cfg.step_threads));
+        let shards: Vec<ShardState> = (0..shard_map.count())
+            .map(|s| ShardState::new(shard_map.range(s), np))
+            .collect();
+        // The calling thread participates in every epoch, so a k-shard grid
+        // wants k - 1 pooled workers. Created once, parked between cycles.
+        let pool = (shards.len() > 1).then(|| StepPool::new(shards.len() - 1));
+
         Ok(Network {
             ports,
             conn,
@@ -419,16 +451,26 @@ impl Network {
             active_src: Vec::with_capacity(n_eps),
             on_active_src: vec![false; n_eps],
             active_src_dirty: false,
-            // One transfer per (node, output port) is the per-cycle maximum.
-            scratch_transfers: Vec::with_capacity(n_nodes * np),
-            scratch_req_mask: vec![0; np],
-            scratch_chosen: vec![None; np],
-            scratch_grants: vec![None; np],
             scratch_inject: Vec::with_capacity(n_eps),
+            out_rr,
+            in_rr_vc,
+            sw_alloc,
+            shard_map,
+            shards,
+            pool,
             telemetry: None,
             fault_plan,
             cfg,
         })
+    }
+
+    /// Effective step parallelism: the number of shards stepped
+    /// concurrently (1 = serial). Derived from the requested thread count —
+    /// the `step_threads` config knob when non-zero, else the
+    /// `RUCHE_STEP_THREADS` environment override — clamped by the grid's
+    /// row count and [`MAX_SHARDS`] (see [`ShardMap::new`]).
+    pub fn step_threads(&self) -> usize {
+        self.shard_map.count()
     }
 
     /// Puts `node` on the planners' worklist (no-op if already there).
@@ -694,20 +736,35 @@ impl Network {
         self.active_src = srcs;
 
         // The instrument is moved out for the duration of the cycle so the
-        // planners/commit can borrow it mutably alongside `self`.
+        // phases can borrow it mutably alongside `self`.
         let mut tel = self.telemetry.take();
-        if self.cfg.is_vc_router() {
-            self.plan_vc(tel.as_deref_mut());
-        } else {
-            self.plan_wormhole(tel.as_deref_mut());
+
+        // Phase A: plan route/VC/switch grants shard-locally. Every decision
+        // observes cycle-start state (routers are shared immutably across
+        // shards; only shard-owned arbiter state mutates), so the result is
+        // independent of shard count and scheduling.
+        self.plan_phase(tel.is_some());
+
+        // Replay per-shard telemetry logs into the shared sink in shard
+        // order — identical to the serial recording order.
+        if let Some(t) = tel.as_deref_mut() {
+            for st in &mut self.shards {
+                for &(node, port, vc, cause) in &st.blocked {
+                    t.record_blocked(node as usize, port as usize, vc as usize, cause);
+                }
+                st.blocked.clear();
+                for tr in &st.transfers {
+                    t.record_traversal(tr.node, tr.out_port, tr.out_vc);
+                }
+            }
         }
-        let transfers = std::mem::take(&mut self.scratch_transfers);
-        let progressed = !transfers.is_empty();
-        for t in &transfers {
-            self.commit(*t, tel.as_deref_mut());
-        }
-        self.scratch_transfers = transfers;
-        self.scratch_transfers.clear();
+        let progressed = self.shards.iter().any(|s| !s.transfers.is_empty());
+
+        // Phase B: commit the planned traversals. Shard-local effects apply
+        // directly; cross-shard pushes and credit returns go to the shard's
+        // outbox and are drained below in canonical (node, port, vc) order.
+        self.commit_phase();
+        self.drain_shards();
 
         // Commit injections.
         let planned = std::mem::take(&mut self.scratch_inject);
@@ -776,246 +833,590 @@ impl Network {
         }
     }
 
-    fn port_index(&self, d: Dir) -> usize {
-        self.conn
-            .port_index(d)
-            .expect("every routed direction appears in the connectivity port map")
-    }
-
-    /// Route decision for the head of (node, ip, vc), memoized per head.
-    #[inline]
-    fn head_route(&mut self, node: usize, ip: usize, vc: usize, f: &Flit) -> (usize, u8) {
-        let np = self.ports.len();
-        let slot = (node * np + ip) * self.max_vcs + vc;
-        if let Some(d) = self.route_cache[slot] {
-            return d;
-        }
-        let d = if f.kind.is_head() {
-            let coord = self.routers[node].coord;
-            let dec = if let Some(plan) = self.fault_plan.as_deref() {
-                // Faulted network: all packets follow the deadlock-free
-                // up*/down* table over the surviving channels.
-                plan.route(coord, self.ports[ip], f.dest).expect(
-                    "flit routed toward an unreachable destination; \
-                     callers must check RouteTable::reachable before enqueueing",
-                )
-            } else {
-                let dec = compute_route(&self.cfg, coord, self.ports[ip], vc as u8, f.dest);
-                debug_assert!(
-                    self.conn.allows(self.ports[ip], dec.out),
-                    "illegal crossbar transition {} -> {} at {}",
-                    self.ports[ip],
-                    dec.out,
-                    coord
-                );
-                dec
-            };
-            (self.port_index(dec.out), dec.out_vc)
-        } else {
-            let (op, ovc) =
-                self.routers[node].inputs[ip].assigned[vc].expect("body flit has a path");
-            (op, ovc)
+    /// Phase A: splits the sorted worklist and the arbiter arrays into
+    /// per-shard chunks and plans each shard (in parallel when pooled).
+    /// Planning reads all routers immutably and mutates only shard-owned
+    /// state, so cross-shard credit observations are exactly the immutable
+    /// cycle-start snapshot.
+    fn plan_phase(&mut self, tel_on: bool) {
+        let Network {
+            cfg,
+            ports,
+            conn,
+            routers,
+            out_links,
+            upstream: _,
+            pending_arrivals,
+            occupancy,
+            fault_plan,
+            max_vcs,
+            active,
+            out_rr,
+            in_rr_vc,
+            sw_alloc,
+            route_cache,
+            shards,
+            pool,
+            ..
+        } = self;
+        let px = PlanShared {
+            cfg,
+            ports,
+            conn,
+            routers,
+            out_links,
+            pending_arrivals,
+            occupancy,
+            fault_plan: fault_plan.as_deref(),
+            max_vcs: *max_vcs,
+            tel: tel_on,
         };
-        self.route_cache[slot] = Some(d);
-        d
-    }
-
-    /// Wormhole plan: per-output round-robin arbitration qualified by
-    /// downstream FIFO space (ready-valid-and). Idle routers are skipped;
-    /// all decisions observe cycle-start state (commits happen later), so
-    /// the single pass is equivalent to the synchronous two-phase update.
-    fn plan_wormhole(&mut self, mut tel: Option<&mut NetTelemetry>) {
-        let np = self.ports.len();
-        let active = std::mem::take(&mut self.active);
-        for &node in &active {
-            let node = node as usize;
-            debug_assert!(self.occupancy[node] > 0, "idle router on the worklist");
-            // Per-output request masks (bit = input port), from each input
-            // head's memoized route decision.
-            self.scratch_req_mask.fill(0);
-            for ip in 0..np {
-                if let Some(f) = self.routers[node].inputs[ip].vcs[0].head().copied() {
-                    let (op, _) = self.head_route(node, ip, 0, &f);
-                    self.scratch_req_mask[op] |= 1 << ip;
-                }
+        let np = px.ports.len();
+        let is_vc = px.cfg.is_vc_router();
+        let k = shards.len();
+        if k == 1 {
+            // Serial fast path: one shard owns everything, so hand it the
+            // full slices directly instead of building the chunk table.
+            let mut c = PlanChunk {
+                active,
+                out_rr,
+                in_rr_vc,
+                sw_alloc,
+                route_cache,
+                st: &mut shards[0],
+            };
+            if is_vc {
+                plan_vc_shard(&px, &mut c);
+            } else {
+                plan_wormhole_shard(&px, &mut c);
             }
-            for op in 0..np {
-                let reqs = self.scratch_req_mask[op];
-                if reqs == 0 {
-                    continue;
-                }
-                let ready = match self.out_links[node * np + op] {
-                    LinkTarget::Router { node: dn, port: dp } => {
-                        let f = &self.routers[dn].inputs[dp].vcs[0];
-                        let pending = self.pending_arrivals[(dn * np + dp) * self.max_vcs] as usize;
-                        f.len() + pending < f.capacity()
-                    }
-                    LinkTarget::Endpoint(_) => true,
-                    LinkTarget::None => false,
-                };
-                if !ready {
-                    if let Some(t) = tel.as_deref_mut() {
-                        // The FIFO-space check above and the credit counter
-                        // must agree, or NoCredit attribution silently lies.
-                        debug_assert!(
-                            !self.routers[node].outputs[op].has_credit(0),
-                            "NoCredit stall recorded at node {node} port {op} \
-                             while the output still holds credit"
-                        );
-                        for ip in 0..np {
-                            if reqs & (1 << ip) != 0 {
-                                t.record_blocked(node, op, 0, BlockCause::NoCredit);
-                            }
-                        }
-                    }
-                    continue;
-                }
-                let lock = self.routers[node].outputs[op].lock;
-                let winner = if let Some(owner) = lock {
-                    (reqs & (1 << owner) != 0).then_some(owner)
+            return;
+        }
+        let mut chunks: [Option<PlanChunk>; MAX_SHARDS] = std::array::from_fn(|_| None);
+        {
+            let mut act: &[u32] = active;
+            let mut orr: &mut [RoundRobin] = out_rr;
+            let mut irr: &mut [RoundRobin] = in_rr_vc;
+            let mut swa: &mut [Wavefront] = sw_alloc;
+            let mut rc: &mut [Option<(usize, u8)>] = route_cache;
+            for (s, st) in shards.iter_mut().enumerate() {
+                let n = st.n_nodes;
+                let hi = st.first_node + n;
+                // The worklist is sorted ascending, so this shard's nodes
+                // are the prefix below its upper bound.
+                let cut = act.partition_point(|&x| (x as usize) < hi);
+                let (mine, rest) = act.split_at(cut);
+                act = rest;
+                chunks[s] = Some(PlanChunk {
+                    active: mine,
+                    out_rr: split_prefix(&mut orr, if is_vc { 0 } else { n * np }),
+                    in_rr_vc: split_prefix(&mut irr, if is_vc { n * np } else { 0 }),
+                    sw_alloc: split_prefix(&mut swa, if is_vc { n } else { 0 }),
+                    route_cache: split_prefix(&mut rc, n * np * px.max_vcs),
+                    st,
+                });
+            }
+        }
+        match pool {
+            Some(p) if k > 1 => p.run_parts(&mut chunks[..k], |_, slot| {
+                let c = slot.as_mut().expect("chunk built for every shard");
+                if is_vc {
+                    plan_vc_shard(&px, c);
                 } else {
-                    self.routers[node].outputs[op].rr.pick_and_grant_mask(reqs)
-                };
-                if let Some(t) = tel.as_deref_mut() {
-                    // Output usable, but at most one requester proceeds;
-                    // when the lock owner is not requesting, all lose.
-                    let losers = match winner {
-                        Some(w) => reqs & !(1 << w),
-                        None => reqs,
-                    };
+                    plan_wormhole_shard(&px, c);
+                }
+            }),
+            _ => {
+                for slot in &mut chunks[..k] {
+                    let c = slot.as_mut().expect("chunk built for every shard");
+                    if is_vc {
+                        plan_vc_shard(&px, c);
+                    } else {
+                        plan_wormhole_shard(&px, c);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Phase B: commits every shard's planned transfers (in parallel when
+    /// pooled). Shard-local mutations apply in place; effects that land in
+    /// another shard (downstream pushes, upstream credit returns) or in
+    /// global queues (pipeline transit, ejections) are staged per shard for
+    /// [`Network::drain_shards`].
+    fn commit_phase(&mut self) {
+        let Network {
+            cfg,
+            ports,
+            routers,
+            out_links,
+            upstream,
+            occupancy,
+            traversals,
+            route_cache,
+            on_active,
+            max_vcs,
+            cycle,
+            shards,
+            pool,
+            ..
+        } = self;
+        let cx = CommitShared {
+            cfg,
+            np: ports.len(),
+            max_vcs: *max_vcs,
+            out_links,
+            upstream,
+            cycle: *cycle,
+        };
+        let np = cx.np;
+        let k = shards.len();
+        if k == 1 {
+            // Serial fast path mirroring `plan_phase`.
+            let mut c = CommitChunk {
+                routers,
+                occupancy,
+                traversals,
+                route_cache,
+                on_active,
+                st: &mut shards[0],
+            };
+            commit_shard(&cx, &mut c);
+            return;
+        }
+        let mut chunks: [Option<CommitChunk>; MAX_SHARDS] = std::array::from_fn(|_| None);
+        {
+            let mut rts: &mut [Router] = routers;
+            let mut occ: &mut [u32] = occupancy;
+            let mut trv: &mut [u64] = traversals;
+            let mut rc: &mut [Option<(usize, u8)>] = route_cache;
+            let mut ona: &mut [bool] = on_active;
+            for (s, st) in shards.iter_mut().enumerate() {
+                let n = st.n_nodes;
+                chunks[s] = Some(CommitChunk {
+                    routers: split_prefix(&mut rts, n),
+                    occupancy: split_prefix(&mut occ, n),
+                    traversals: split_prefix(&mut trv, n * np),
+                    route_cache: split_prefix(&mut rc, n * np * cx.max_vcs),
+                    on_active: split_prefix(&mut ona, n),
+                    st,
+                });
+            }
+        }
+        match pool {
+            Some(p) if k > 1 => p.run_parts(&mut chunks[..k], |_, slot| {
+                commit_shard(&cx, slot.as_mut().expect("chunk built for every shard"));
+            }),
+            _ => {
+                for slot in &mut chunks[..k] {
+                    commit_shard(&cx, slot.as_mut().expect("chunk built for every shard"));
+                }
+            }
+        }
+    }
+
+    /// Applies every shard's staged cross-shard and global effects, in
+    /// shard order. Shards hold ascending node ranges and each staged list
+    /// is in ascending-node plan order, so this serial drain reproduces the
+    /// serial commit order exactly — the canonical (node, port, vc) order
+    /// that makes results byte-identical at any thread count.
+    fn drain_shards(&mut self) {
+        let np = self.ports.len();
+        for s in 0..self.shards.len() {
+            // Boundary mailbox: pushes and credits into other shards.
+            let mut outbox = std::mem::take(&mut self.shards[s].outbox);
+            for mail in outbox.drain(..) {
+                match mail {
+                    Mail::Push {
+                        node,
+                        port,
+                        vc,
+                        flit,
+                    } => {
+                        self.routers[node].inputs[port].vcs[vc]
+                            .try_push(flit)
+                            .expect("downstream space guaranteed by flow control");
+                        self.occupancy[node] += 1;
+                        self.mark_active(node);
+                    }
+                    Mail::Credit { node, port, vc } => {
+                        let out = &mut self.routers[node].outputs[port];
+                        if out.counted {
+                            out.credits[vc] += 1;
+                            debug_assert!(out.credits[vc] as usize <= self.cfg.fifo_depth);
+                        }
+                    }
+                }
+            }
+            self.shards[s].outbox = outbox;
+
+            // Pipelined traversals and ejections enter the global queues in
+            // shard order; arrival cycles are uniform within a cycle, so the
+            // queues stay sorted by arrival.
+            let mut transit = std::mem::take(&mut self.shards[s].staged_transit);
+            for (arrive, dn, dp, vc, flit) in transit.drain(..) {
+                self.pending_arrivals[(dn * np + dp) * self.max_vcs + vc] += 1;
+                self.in_transit.push_back((arrive, dn, dp, vc, flit));
+            }
+            self.shards[s].staged_transit = transit;
+            let mut ejects = std::mem::take(&mut self.shards[s].staged_eject);
+            for e in ejects.drain(..) {
+                self.in_transit_eject.push_back(e);
+            }
+            self.shards[s].staged_eject = ejects;
+
+            // Same-cycle ejections, in canonical order.
+            let n_ej = self.shards[s].ejected.len();
+            self.stats.ejected += n_ej as u64;
+            self.in_flight -= n_ej;
+            let mut ej = std::mem::take(&mut self.shards[s].ejected);
+            self.ejected.append(&mut ej);
+            self.shards[s].ejected = ej;
+
+            // Routers activated by in-shard pushes join the worklist (it
+            // re-sorts at the next cycle start).
+            let mut fresh = std::mem::take(&mut self.shards[s].newly_active);
+            if !fresh.is_empty() {
+                self.active.extend_from_slice(&fresh);
+                self.active_dirty = true;
+                fresh.clear();
+            }
+            self.shards[s].newly_active = fresh;
+        }
+    }
+}
+
+/// Resolves the requested step worker-thread count: a non-zero config knob
+/// wins; otherwise the `RUCHE_STEP_THREADS` environment variable; otherwise
+/// 1 (serial).
+fn resolve_step_threads(knob: usize) -> usize {
+    if knob > 0 {
+        return knob;
+    }
+    std::env::var("RUCHE_STEP_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
+}
+
+/// Peels a `len`-element chunk off the front of `*rest`.
+fn split_prefix<'a, T>(rest: &mut &'a mut [T], len: usize) -> &'a mut [T] {
+    let (head, tail) = std::mem::take(rest).split_at_mut(len);
+    *rest = tail;
+    head
+}
+
+/// Read-only state every shard's plan pass shares. Routers are the
+/// cycle-start snapshot: nothing mutates them until the commit phase, after
+/// the plan barrier.
+struct PlanShared<'a> {
+    cfg: &'a NetworkConfig,
+    ports: &'a [Dir],
+    conn: &'a Connectivity,
+    routers: &'a [Router],
+    out_links: &'a [LinkTarget],
+    pending_arrivals: &'a [u32],
+    occupancy: &'a [u32],
+    fault_plan: Option<&'a RouteTable>,
+    max_vcs: usize,
+    /// Whether telemetry is attached (log blocked events into the shard).
+    tel: bool,
+}
+
+/// Mutable state one shard's plan pass owns: its slice of the sorted
+/// worklist, its arbiters, its route-cache band, and its scratch.
+struct PlanChunk<'a> {
+    active: &'a [u32],
+    out_rr: &'a mut [RoundRobin],
+    in_rr_vc: &'a mut [RoundRobin],
+    sw_alloc: &'a mut [Wavefront],
+    route_cache: &'a mut [Option<(usize, u8)>],
+    st: &'a mut ShardState,
+}
+
+/// Read-only state every shard's commit pass shares.
+struct CommitShared<'a> {
+    cfg: &'a NetworkConfig,
+    np: usize,
+    max_vcs: usize,
+    out_links: &'a [LinkTarget],
+    upstream: &'a [Option<(usize, usize)>],
+    cycle: u64,
+}
+
+/// Mutable state one shard's commit pass owns: its band of routers and the
+/// per-node arrays parallel to them.
+struct CommitChunk<'a> {
+    routers: &'a mut [Router],
+    occupancy: &'a mut [u32],
+    traversals: &'a mut [u64],
+    route_cache: &'a mut [Option<(usize, u8)>],
+    on_active: &'a mut [bool],
+    st: &'a mut ShardState,
+}
+
+/// Route decision for the head of (node, ip, vc), memoized per head in the
+/// shard's route-cache band (`first_node` rebases the slot).
+#[inline]
+fn head_route(
+    px: &PlanShared<'_>,
+    route_cache: &mut [Option<(usize, u8)>],
+    first_node: usize,
+    node: usize,
+    ip: usize,
+    vc: usize,
+    f: &Flit,
+) -> (usize, u8) {
+    let np = px.ports.len();
+    let slot = ((node - first_node) * np + ip) * px.max_vcs + vc;
+    if let Some(d) = route_cache[slot] {
+        return d;
+    }
+    let d = if f.kind.is_head() {
+        let coord = px.routers[node].coord;
+        let dec = if let Some(plan) = px.fault_plan {
+            // Faulted network: all packets follow the deadlock-free
+            // up*/down* table over the surviving channels.
+            plan.route(coord, px.ports[ip], f.dest).expect(
+                "flit routed toward an unreachable destination; \
+                 callers must check RouteTable::reachable before enqueueing",
+            )
+        } else {
+            let dec = compute_route(px.cfg, coord, px.ports[ip], vc as u8, f.dest);
+            debug_assert!(
+                px.conn.allows(px.ports[ip], dec.out),
+                "illegal crossbar transition {} -> {} at {}",
+                px.ports[ip],
+                dec.out,
+                coord
+            );
+            dec
+        };
+        let op = px
+            .conn
+            .port_index(dec.out)
+            .expect("every routed direction appears in the connectivity port map");
+        (op, dec.out_vc)
+    } else {
+        px.routers[node].inputs[ip].assigned[vc].expect("body flit has a path")
+    };
+    route_cache[slot] = Some(d);
+    d
+}
+
+/// Wormhole plan over one shard: per-output round-robin arbitration
+/// qualified by downstream FIFO space (ready-valid-and). Idle routers are
+/// skipped; all decisions observe cycle-start state (commits happen after
+/// the barrier), so the single pass is equivalent to the synchronous
+/// two-phase update.
+fn plan_wormhole_shard(px: &PlanShared<'_>, c: &mut PlanChunk<'_>) {
+    let np = px.ports.len();
+    let first = c.st.first_node;
+    for &node in c.active {
+        let node = node as usize;
+        debug_assert!(px.occupancy[node] > 0, "idle router on the worklist");
+        // Per-output request masks (bit = input port), from each input
+        // head's memoized route decision.
+        c.st.req_mask.fill(0);
+        for ip in 0..np {
+            if let Some(f) = px.routers[node].inputs[ip].vcs[0].head().copied() {
+                let (op, _) = head_route(px, c.route_cache, first, node, ip, 0, &f);
+                c.st.req_mask[op] |= 1 << ip;
+            }
+        }
+        for op in 0..np {
+            let reqs = c.st.req_mask[op];
+            if reqs == 0 {
+                continue;
+            }
+            let ready = match px.out_links[node * np + op] {
+                LinkTarget::Router { node: dn, port: dp } => {
+                    let f = &px.routers[dn].inputs[dp].vcs[0];
+                    let pending = px.pending_arrivals[(dn * np + dp) * px.max_vcs] as usize;
+                    f.len() + pending < f.capacity()
+                }
+                LinkTarget::Endpoint(_) => true,
+                LinkTarget::None => false,
+            };
+            if !ready {
+                if px.tel {
+                    // The FIFO-space check above and the credit counter
+                    // must agree, or NoCredit attribution silently lies.
+                    debug_assert!(
+                        !px.routers[node].outputs[op].has_credit(0),
+                        "NoCredit stall recorded at node {node} port {op} \
+                         while the output still holds credit"
+                    );
                     for ip in 0..np {
-                        if losers & (1 << ip) != 0 {
-                            t.record_blocked(node, op, 0, BlockCause::LostArbitration);
+                        if reqs & (1 << ip) != 0 {
+                            c.st.blocked
+                                .push((node as u32, op as u16, 0, BlockCause::NoCredit));
                         }
                     }
                 }
-                if let Some(ip) = winner {
-                    self.scratch_transfers.push(Transfer {
-                        node,
-                        in_port: ip,
-                        in_vc: 0,
-                        out_port: op,
-                        out_vc: 0,
-                    });
-                }
+                continue;
             }
-        }
-        self.active = active;
-    }
-
-    /// VC-router plan: ready-then-valid requests (credit-gated), one VC per
-    /// input port, wavefront switch allocation. Idle routers are skipped.
-    fn plan_vc(&mut self, mut tel: Option<&mut NetTelemetry>) {
-        let np = self.ports.len();
-        let mut valid = [false; 8];
-        let mut decision = [None::<(usize, u8)>; 8];
-        let active = std::mem::take(&mut self.active);
-        for &node in &active {
-            let node = node as usize;
-            debug_assert!(self.occupancy[node] > 0, "idle router on the worklist");
-            // Per-input request masks (bit = output port) for the wavefront
-            // allocator.
-            self.scratch_req_mask.fill(0);
-            self.scratch_chosen.fill(None);
-            #[allow(clippy::needless_range_loop)] // indexes several parallel arrays
-            for ip in 0..np {
-                let n_vcs = self.routers[node].inputs[ip].vcs.len();
-                for v in 0..n_vcs {
-                    valid[v] = false;
-                    decision[v] = None;
-                    let Some(f) = self.routers[node].inputs[ip].vcs[v].head().copied() else {
-                        continue;
-                    };
-                    let (op, out_vc) = self.head_route(node, ip, v, &f);
-                    // Ready-then-valid: request only with credit in hand and
-                    // the output VC free (or owned by this packet).
-                    let out = &self.routers[node].outputs[op];
-                    let credit_ok = out.has_credit(out_vc as usize);
-                    let owner_ok = match out.vc_owner[out_vc as usize] {
-                        None => f.kind.is_head(),
-                        Some(owner) => owner == (ip, v),
-                    };
-                    if credit_ok && owner_ok {
-                        valid[v] = true;
-                        decision[v] = Some((op, out_vc));
-                    } else if let Some(t) = tel.as_deref_mut() {
-                        let cause = if credit_ok {
-                            // Output VC held by another packet: an
-                            // arbitration-side loss, not a credit stall.
-                            BlockCause::LostArbitration
-                        } else {
-                            debug_assert!(
-                                !self.routers[node].outputs[op].has_credit(out_vc as usize),
-                                "NoCredit stall recorded at node {node} port {op} \
-                                 vc {out_vc} while the output still holds credit"
-                            );
-                            BlockCause::NoCredit
-                        };
-                        t.record_blocked(node, op, out_vc as usize, cause);
+            let lock = px.routers[node].outputs[op].lock;
+            let winner = if let Some(owner) = lock {
+                (reqs & (1 << owner) != 0).then_some(owner)
+            } else {
+                c.out_rr[(node - first) * np + op].pick_and_grant_mask(reqs)
+            };
+            if px.tel {
+                // Output usable, but at most one requester proceeds;
+                // when the lock owner is not requesting, all lose.
+                let losers = match winner {
+                    Some(w) => reqs & !(1 << w),
+                    None => reqs,
+                };
+                for ip in 0..np {
+                    if losers & (1 << ip) != 0 {
+                        c.st.blocked
+                            .push((node as u32, op as u16, 0, BlockCause::LostArbitration));
                     }
                 }
-                if let Some(v) = self.routers[node].inputs[ip].rr_vc.pick(&valid[..n_vcs]) {
-                    let (op, out_vc) = decision[v].expect("valid implies decision");
-                    self.scratch_chosen[ip] = Some((v, op, out_vc));
-                    self.scratch_req_mask[ip] |= 1 << op;
-                    if let Some(t) = tel.as_deref_mut() {
-                        // Sibling VCs that were sendable but lost the
-                        // per-input VC pick this cycle.
-                        for (v2, &ok) in valid[..n_vcs].iter().enumerate() {
-                            if ok && v2 != v {
-                                let (op2, ovc2) = decision[v2].expect("valid implies decision");
-                                t.record_blocked(
-                                    node,
-                                    op2,
-                                    ovc2 as usize,
-                                    BlockCause::LostArbitration,
-                                );
-                            }
+            }
+            if let Some(ip) = winner {
+                c.st.transfers.push(Transfer {
+                    node,
+                    in_port: ip,
+                    in_vc: 0,
+                    out_port: op,
+                    out_vc: 0,
+                });
+            }
+        }
+    }
+}
+
+/// VC-router plan over one shard: ready-then-valid requests (credit-gated),
+/// one VC per input port, wavefront switch allocation. Idle routers are
+/// skipped.
+fn plan_vc_shard(px: &PlanShared<'_>, c: &mut PlanChunk<'_>) {
+    let np = px.ports.len();
+    let first = c.st.first_node;
+    let mut valid = [false; 8];
+    let mut decision = [None::<(usize, u8)>; 8];
+    for &node in c.active {
+        let node = node as usize;
+        debug_assert!(px.occupancy[node] > 0, "idle router on the worklist");
+        // Per-input request masks (bit = output port) for the wavefront
+        // allocator.
+        c.st.req_mask.fill(0);
+        c.st.chosen.fill(None);
+        #[allow(clippy::needless_range_loop)] // indexes several parallel arrays
+        for ip in 0..np {
+            let n_vcs = px.routers[node].inputs[ip].vcs.len();
+            for v in 0..n_vcs {
+                valid[v] = false;
+                decision[v] = None;
+                let Some(f) = px.routers[node].inputs[ip].vcs[v].head().copied() else {
+                    continue;
+                };
+                let (op, out_vc) = head_route(px, c.route_cache, first, node, ip, v, &f);
+                // Ready-then-valid: request only with credit in hand and
+                // the output VC free (or owned by this packet).
+                let out = &px.routers[node].outputs[op];
+                let credit_ok = out.has_credit(out_vc as usize);
+                let owner_ok = match out.vc_owner[out_vc as usize] {
+                    None => f.kind.is_head(),
+                    Some(owner) => owner == (ip, v),
+                };
+                if credit_ok && owner_ok {
+                    valid[v] = true;
+                    decision[v] = Some((op, out_vc));
+                } else if px.tel {
+                    let cause = if credit_ok {
+                        // Output VC held by another packet: an
+                        // arbitration-side loss, not a credit stall.
+                        BlockCause::LostArbitration
+                    } else {
+                        debug_assert!(
+                            !px.routers[node].outputs[op].has_credit(out_vc as usize),
+                            "NoCredit stall recorded at node {node} port {op} \
+                             vc {out_vc} while the output still holds credit"
+                        );
+                        BlockCause::NoCredit
+                    };
+                    c.st.blocked.push((node as u32, op as u16, out_vc, cause));
+                }
+            }
+            if let Some(v) = c.in_rr_vc[(node - first) * np + ip].pick(&valid[..n_vcs]) {
+                let (op, out_vc) = decision[v].expect("valid implies decision");
+                c.st.chosen[ip] = Some((v, op, out_vc));
+                c.st.req_mask[ip] |= 1 << op;
+                if px.tel {
+                    // Sibling VCs that were sendable but lost the
+                    // per-input VC pick this cycle.
+                    for (v2, &ok) in valid[..n_vcs].iter().enumerate() {
+                        if ok && v2 != v {
+                            let (op2, ovc2) = decision[v2].expect("valid implies decision");
+                            c.st.blocked.push((
+                                node as u32,
+                                op2 as u16,
+                                ovc2,
+                                BlockCause::LostArbitration,
+                            ));
                         }
                     }
                 }
             }
-            let r = &mut self.routers[node];
-            r.allocator
-                .allocate_into(&self.scratch_req_mask, &mut self.scratch_grants);
-            for ip in 0..np {
-                if let Some(op) = self.scratch_grants[ip] {
-                    let (v, op2, out_vc) = self.scratch_chosen[ip].expect("granted implies chosen");
-                    debug_assert_eq!(op, op2);
-                    r.inputs[ip].rr_vc.grant(v);
-                    self.scratch_transfers.push(Transfer {
-                        node,
-                        in_port: ip,
-                        in_vc: v,
-                        out_port: op,
-                        out_vc: out_vc as usize,
-                    });
-                } else if let Some((_, op, out_vc)) = self.scratch_chosen[ip] {
-                    // Chosen a VC and raised a request, but the wavefront
-                    // allocator granted the output to another input.
-                    if let Some(t) = tel.as_deref_mut() {
-                        t.record_blocked(node, op, out_vc as usize, BlockCause::LostArbitration);
-                    }
+        }
+        {
+            let st = &mut *c.st;
+            c.sw_alloc[node - first].allocate_into(&st.req_mask, &mut st.grants);
+        }
+        for ip in 0..np {
+            if let Some(op) = c.st.grants[ip] {
+                let (v, op2, out_vc) = c.st.chosen[ip].expect("granted implies chosen");
+                debug_assert_eq!(op, op2);
+                c.in_rr_vc[(node - first) * np + ip].grant(v);
+                c.st.transfers.push(Transfer {
+                    node,
+                    in_port: ip,
+                    in_vc: v,
+                    out_port: op,
+                    out_vc: out_vc as usize,
+                });
+            } else if let Some((_, op, out_vc)) = c.st.chosen[ip] {
+                // Chosen a VC and raised a request, but the wavefront
+                // allocator granted the output to another input.
+                if px.tel {
+                    c.st.blocked.push((
+                        node as u32,
+                        op as u16,
+                        out_vc,
+                        BlockCause::LostArbitration,
+                    ));
                 }
             }
         }
-        self.active = active;
     }
+}
 
-    fn commit(&mut self, t: Transfer, tel: Option<&mut NetTelemetry>) {
-        let np = self.ports.len();
-        if let Some(tel) = tel {
-            tel.record_traversal(t.node, t.out_port, t.out_vc);
-        }
-        let flit = self.routers[t.node].inputs[t.in_port].vcs[t.in_vc]
+/// Commits one shard's planned transfers. Mutations that stay inside the
+/// shard's node band apply directly; everything else is staged (outbox for
+/// cross-shard pushes/credits, staged queues for pipeline transit and
+/// ejections) for the coordinator's in-order drain. At most one transfer
+/// exists per (node, input port) and per (node, output port), and upstream
+/// links are injective, so concurrent shard commits touch disjoint state.
+fn commit_shard(cx: &CommitShared<'_>, c: &mut CommitChunk<'_>) {
+    let np = cx.np;
+    let first = c.st.first_node;
+    let last = first + c.st.n_nodes;
+    let stages = cx.cfg.pipeline_stages;
+    let transfers = std::mem::take(&mut c.st.transfers);
+    for t in &transfers {
+        let flit = c.routers[t.node - first].inputs[t.in_port].vcs[t.in_vc]
             .pop()
             .expect("planned transfer has a flit");
-        self.occupancy[t.node] -= 1;
-        self.route_cache[(t.node * np + t.in_port) * self.max_vcs + t.in_vc] = None;
+        c.occupancy[t.node - first] -= 1;
+        c.route_cache[((t.node - first) * np + t.in_port) * cx.max_vcs + t.in_vc] = None;
 
         // Path bookkeeping.
         {
-            let r = &mut self.routers[t.node];
+            let r = &mut c.routers[t.node - first];
             if flit.kind.is_head() && !flit.kind.is_tail() {
                 r.outputs[t.out_port].lock = Some(t.in_port);
                 r.outputs[t.out_port].vc_owner[t.out_vc] = Some((t.in_port, t.in_vc));
@@ -1026,39 +1427,59 @@ impl Network {
                 r.inputs[t.in_port].assigned[t.in_vc] = None;
             }
             if r.outputs[t.out_port].counted {
-                let c = &mut r.outputs[t.out_port].credits[t.out_vc];
-                debug_assert!(*c > 0, "send without credit");
-                *c -= 1;
+                let cdt = &mut r.outputs[t.out_port].credits[t.out_vc];
+                debug_assert!(*cdt > 0, "send without credit");
+                *cdt -= 1;
             }
         }
 
         // Credit return to whoever feeds this input (1-cycle latency falls
-        // out of the two-phase update).
-        if let Some((un, uo)) = self.upstream[t.node * np + t.in_port] {
-            let out = &mut self.routers[un].outputs[uo];
-            if out.counted {
-                out.credits[t.in_vc] += 1;
-                debug_assert!(out.credits[t.in_vc] as usize <= self.cfg.fifo_depth);
+        // out of the two-phase update). Upstream routers outside the band
+        // get their credit through the mailbox.
+        if let Some((un, uo)) = cx.upstream[t.node * np + t.in_port] {
+            if (first..last).contains(&un) {
+                let out = &mut c.routers[un - first].outputs[uo];
+                if out.counted {
+                    out.credits[t.in_vc] += 1;
+                    debug_assert!(out.credits[t.in_vc] as usize <= cx.cfg.fifo_depth);
+                }
+            } else {
+                c.st.outbox.push(Mail::Credit {
+                    node: un,
+                    port: uo,
+                    vc: t.in_vc,
+                });
             }
         }
 
-        self.traversals[t.node * np + t.out_port] += 1;
-        let stages = self.cfg.pipeline_stages;
-        match self.out_links[t.node * np + t.out_port] {
+        c.traversals[(t.node - first) * np + t.out_port] += 1;
+        match cx.out_links[t.node * np + t.out_port] {
             LinkTarget::Router { node: dn, port: dp } => {
                 if stages == 0 {
-                    self.routers[dn].inputs[dp].vcs[t.out_vc]
-                        .try_push(flit)
-                        .expect("downstream space guaranteed by flow control");
-                    self.occupancy[dn] += 1;
-                    self.mark_active(dn);
+                    if (first..last).contains(&dn) {
+                        c.routers[dn - first].inputs[dp].vcs[t.out_vc]
+                            .try_push(flit)
+                            .expect("downstream space guaranteed by flow control");
+                        c.occupancy[dn - first] += 1;
+                        if !c.on_active[dn - first] {
+                            c.on_active[dn - first] = true;
+                            c.st.newly_active.push(dn as u32);
+                        }
+                    } else {
+                        c.st.outbox.push(Mail::Push {
+                            node: dn,
+                            port: dp,
+                            vc: t.out_vc,
+                            flit,
+                        });
+                    }
                 } else {
                     // Extra pipeline stages: the flit becomes visible
                     // downstream `stages` cycles later than a single-cycle
-                    // hop would make it.
-                    self.pending_arrivals[(dn * np + dp) * self.max_vcs + t.out_vc] += 1;
-                    self.in_transit.push_back((
-                        self.cycle + 1 + stages as u64,
+                    // hop would make it. Staged so the coordinator appends
+                    // to the global queue in canonical order.
+                    c.st.staged_transit.push((
+                        cx.cycle + 1 + stages as u64,
                         dn,
                         dp,
                         t.out_vc,
@@ -1068,19 +1489,18 @@ impl Network {
             }
             LinkTarget::Endpoint(ep) => {
                 if stages == 0 {
-                    self.stats.ejected += 1;
-                    self.in_flight -= 1;
-                    self.ejected.push((ep, flit));
+                    c.st.ejected.push((ep, flit));
                 } else {
                     // Baseline ejections are visible in the granting step
                     // itself, so the pipeline adds exactly `stages` here.
-                    self.in_transit_eject
-                        .push_back((self.cycle + stages as u64, ep, flit));
+                    c.st.staged_eject.push((cx.cycle + stages as u64, ep, flit));
                 }
             }
             LinkTarget::None => unreachable!("transfer into a tied-off link"),
         }
     }
+    c.st.transfers = transfers;
+    c.st.transfers.clear();
 }
 
 #[cfg(test)]

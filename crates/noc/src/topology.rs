@@ -200,7 +200,7 @@ impl std::error::Error for ConfigError {}
 /// cfg.validate()?;
 /// # Ok::<(), ruche_noc::topology::ConfigError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
 pub struct NetworkConfig {
     /// Array dimensions (columns × rows).
     pub dims: Dims,
@@ -231,6 +231,35 @@ pub struct NetworkConfig {
     /// edges, responses Y-X from them, §4); a response network routed X-Y
     /// needs the extra turns — used by the DOR-order ablation.
     pub edge_bidirectional: bool,
+    /// Worker threads for `Network::step` (0 = serial unless the
+    /// `RUCHE_STEP_THREADS` environment variable overrides it). The grid is
+    /// partitioned into that many contiguous row bands stepped in parallel;
+    /// results are byte-identical at any thread count, so this knob is a
+    /// pure performance trade and is deliberately **excluded** from the
+    /// config's `Debug` rendering (which the sweep cache uses as its key).
+    pub step_threads: usize,
+}
+
+impl fmt::Debug for NetworkConfig {
+    /// Matches the former derived rendering field-for-field but omits
+    /// [`step_threads`](NetworkConfig::step_threads): sweep results are
+    /// byte-identical at any thread count, and `crates/bench` keys its
+    /// result cache on this rendering, so configurations differing only in
+    /// thread count must share a key (and previously cached entries must
+    /// stay valid).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NetworkConfig")
+            .field("dims", &self.dims)
+            .field("topology", &self.topology)
+            .field("scheme", &self.scheme)
+            .field("dor", &self.dor)
+            .field("fifo_depth", &self.fifo_depth)
+            .field("channel_width_bits", &self.channel_width_bits)
+            .field("edge_memory_ports", &self.edge_memory_ports)
+            .field("pipeline_stages", &self.pipeline_stages)
+            .field("edge_bidirectional", &self.edge_bidirectional)
+            .finish()
+    }
 }
 
 impl NetworkConfig {
@@ -256,6 +285,7 @@ impl NetworkConfig {
                 edge_memory_ports: false,
                 pipeline_stages: 0,
                 edge_bidirectional: false,
+                step_threads: 0,
             },
         }
     }
@@ -338,6 +368,13 @@ impl NetworkConfig {
     pub fn with_pipeline_stages(self, stages: u32) -> Self {
         NetworkConfigBuilder::from(self)
             .pipeline_stages(stages)
+            .build_unvalidated()
+    }
+
+    /// Sets the step worker-thread count (builder style).
+    pub fn with_step_threads(self, threads: usize) -> Self {
+        NetworkConfigBuilder::from(self)
+            .step_threads(threads)
             .build_unvalidated()
     }
 
@@ -668,6 +705,14 @@ impl NetworkConfigBuilder {
     /// Implements edge-router crossbar turns for both traffic directions.
     pub fn edge_bidirectional(mut self, on: bool) -> Self {
         self.cfg.edge_bidirectional = on;
+        self
+    }
+
+    /// Sets the worker-thread count for `Network::step` (0 = serial unless
+    /// `RUCHE_STEP_THREADS` overrides it). Purely a performance knob —
+    /// results are byte-identical at any value.
+    pub fn step_threads(mut self, threads: usize) -> Self {
+        self.cfg.step_threads = threads;
         self
     }
 
@@ -1200,6 +1245,39 @@ mod tests {
             .expect("builder config is valid");
         assert_eq!(cfg.channel_width_bits, 64);
         assert!(cfg.edge_bidirectional);
+    }
+
+    #[test]
+    fn step_threads_knob_reaches_the_field() {
+        let cfg = NetworkConfig::mesh(Dims::new(8, 8));
+        assert_eq!(cfg.step_threads, 0, "default is serial/env-controlled");
+        assert_eq!(cfg.clone().with_step_threads(4).step_threads, 4);
+        let built = NetworkConfig::builder(Dims::new(8, 8), TopologyKind::Mesh)
+            .step_threads(2)
+            .build()
+            .expect("builder config is valid");
+        assert_eq!(built.step_threads, 2);
+    }
+
+    #[test]
+    fn debug_rendering_omits_step_threads() {
+        // The Debug rendering is the sweep-cache key: it must not move when
+        // only the thread count changes (results are byte-identical), and
+        // it must keep the exact derived format so previously written cache
+        // entries stay valid.
+        let cfg = NetworkConfig::half_ruche(Dims::new(16, 8), 2, CrossbarScheme::Depopulated);
+        let serial = format!("{cfg:?}");
+        let threaded = format!("{:?}", cfg.clone().with_step_threads(4));
+        assert_eq!(serial, threaded);
+        assert!(!serial.contains("step_threads"));
+        assert_eq!(
+            serial,
+            "NetworkConfig { dims: Dims { cols: 16, rows: 8 }, \
+             topology: Ruche { rf: 2, axes: X }, scheme: Depopulated, \
+             dor: XY, fifo_depth: 2, channel_width_bits: 128, \
+             edge_memory_ports: false, pipeline_stages: 0, \
+             edge_bidirectional: false }"
+        );
     }
 
     #[test]

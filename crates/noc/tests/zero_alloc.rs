@@ -114,3 +114,28 @@ fn wormhole_step_is_allocation_free_in_steady_state() {
 fn vc_step_is_allocation_free_in_steady_state() {
     assert_steady_state_alloc_free(NetworkConfig::torus(Dims::new(8, 8)), "torus");
 }
+
+// The sharded variants measure the whole process (the counting allocator is
+// global), so worker-thread allocations would be caught too. Pool spawn and
+// per-shard scratch growth land in the warmup.
+
+#[test]
+fn sharded_wormhole_step_is_allocation_free_in_steady_state() {
+    let dims = Dims::new(8, 8);
+    assert_steady_state_alloc_free(
+        NetworkConfig::mesh(dims).with_step_threads(2),
+        "sharded mesh",
+    );
+    assert_steady_state_alloc_free(
+        NetworkConfig::full_ruche(dims, 2, CrossbarScheme::Depopulated).with_step_threads(4),
+        "sharded ruche",
+    );
+}
+
+#[test]
+fn sharded_vc_step_is_allocation_free_in_steady_state() {
+    assert_steady_state_alloc_free(
+        NetworkConfig::torus(Dims::new(8, 8)).with_step_threads(2),
+        "sharded torus",
+    );
+}

@@ -1,0 +1,161 @@
+//! Sharded-step determinism: a network stepped by the multi-threaded
+//! sharded engine must be **byte-identical** to the serial engine — same
+//! per-cycle ejection sequence, same snapshots, same link loads, same
+//! telemetry counters — for every topology, dimension (including
+//! degenerate lines), and fault model. See `docs/PARALLELISM.md` for why
+//! this holds by construction.
+
+use proptest::prelude::*;
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use ruche::noc::packet::Flit;
+use ruche::noc::prelude::*;
+
+/// Strategy over network families, including degenerate 1×N / N×1 lines
+/// (which must collapse to a single shard).
+fn arb_config() -> impl Strategy<Value = NetworkConfig> {
+    (1u16..=9, 1u16..=9, 0u8..=6, 1u16..=3, any::<bool>()).prop_map(
+        |(cols, rows, kind, rf, pop)| {
+            let dims = Dims::new(cols, rows);
+            let rf = rf
+                .min(cols.saturating_sub(1))
+                .min(rows.saturating_sub(1))
+                .max(1);
+            let scheme = if pop || rf == 1 {
+                CrossbarScheme::FullyPopulated
+            } else {
+                CrossbarScheme::Depopulated
+            };
+            match kind {
+                0 => NetworkConfig::mesh(dims),
+                1 => NetworkConfig::multi_mesh(dims),
+                2 => NetworkConfig::torus(dims),
+                3 => NetworkConfig::half_torus(dims),
+                4 => NetworkConfig::full_ruche(dims, rf, scheme),
+                5 => NetworkConfig::half_ruche(dims, rf, scheme),
+                _ => NetworkConfig::ruche_one(dims),
+            }
+        },
+    )
+}
+
+/// Drives `serial` and `sharded` with identical random traffic and asserts
+/// they agree cycle by cycle: ejections (order included), snapshots, and —
+/// after drain — traversal counters and per-link telemetry.
+fn assert_lockstep(mut serial: Network, mut sharded: Network, seed: u64, rate: u32, cycles: u64) {
+    assert_eq!(serial.step_threads(), 1, "control must run serial");
+    serial.attach_telemetry(64);
+    sharded.attach_telemetry(64);
+    let dims = serial.cfg().dims;
+    let table = serial.route_table().cloned();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut id = 0u64;
+    for cycle in 0..cycles {
+        for c in dims.iter() {
+            if !rng.gen_ratio(rate, 100) {
+                continue;
+            }
+            let d = Coord::new(rng.gen_range(0..dims.cols), rng.gen_range(0..dims.rows));
+            if let Some(t) = &table {
+                if !t.reachable(c, Dir::P, Dest::tile(d)) {
+                    continue;
+                }
+            }
+            let f = Flit::single(c, Dest::tile(d), id, cycle);
+            id += 1;
+            serial.enqueue(serial.tile_endpoint(c), f);
+            sharded.enqueue(sharded.tile_endpoint(c), f);
+        }
+        let a = serial.step().to_vec();
+        let b = sharded.step().to_vec();
+        assert_eq!(&a, &b, "ejections diverge at cycle {}", cycle);
+        assert_eq!(serial.snapshot(), sharded.snapshot());
+    }
+    let mut guard = 0u32;
+    while !serial.snapshot().is_idle() || !sharded.snapshot().is_idle() {
+        let a = serial.step().to_vec();
+        let b = sharded.step().to_vec();
+        assert_eq!(&a, &b, "ejections diverge while draining");
+        assert_eq!(serial.snapshot(), sharded.snapshot());
+        guard += 1;
+        assert!(guard < 60_000, "drain stalled");
+    }
+    let (la, lb) = (serial.link_loads(), sharded.link_loads());
+    assert!(
+        la.iter().eq(lb.iter()),
+        "per-link traversal counters diverge"
+    );
+    let (ta, tb) = (
+        serial.telemetry().expect("attached"),
+        sharded.telemetry().expect("attached"),
+    );
+    let np = ta.ports().len();
+    for node in 0..ta.n_nodes() {
+        for port in 0..np {
+            for vc in 0..ta.max_vcs() {
+                assert_eq!(
+                    ta.link(node, port, vc),
+                    tb.link(node, port, vc),
+                    "telemetry diverges at node {} port {} vc {}",
+                    node,
+                    port,
+                    vc
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Sharded (4 threads) and serial execution agree exactly on random
+    /// topologies and traffic.
+    #[test]
+    fn sharded_step_matches_serial(
+        cfg in arb_config(),
+        seed in any::<u64>(),
+        rate in 1u32..=50,
+    ) {
+        prop_assume!(cfg.validate().is_ok());
+        let serial = Network::new(cfg.clone().with_step_threads(1)).unwrap();
+        let sharded = Network::new(cfg.with_step_threads(4)).unwrap();
+        assert_lockstep(serial, sharded, seed, rate, 120);
+    }
+
+    /// Same, under random link/router faults (detour tables are shared
+    /// read-only across shards).
+    #[test]
+    fn sharded_step_matches_serial_under_faults(
+        seed in any::<u64>(),
+        fseed in any::<u64>(),
+        rate in 1u32..=40,
+    ) {
+        let dims = Dims::new(8, 8);
+        let cfg = NetworkConfig::mesh(dims);
+        let faults = FaultModel::random_links(&cfg, 0.08, fseed);
+        let serial = Network::with_faults(cfg.clone().with_step_threads(1), &faults);
+        let sharded = Network::with_faults(cfg.with_step_threads(4), &faults);
+        match (serial, sharded) {
+            (Ok(serial), Ok(sharded)) => assert_lockstep(serial, sharded, seed, rate, 100),
+            // A fault set the builder rejects (e.g. a disconnecting cut)
+            // must be rejected identically by both engines.
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "engines disagree on {:?} vs {:?}", a.is_ok(), b.is_ok()),
+        }
+    }
+}
+
+#[test]
+fn one_by_n_lines_collapse_to_a_single_shard() {
+    let cfg = NetworkConfig::mesh(Dims::new(1, 9)).with_step_threads(8);
+    let net = Network::new(cfg).unwrap();
+    assert_eq!(net.step_threads(), 1, "1×N must run serial");
+}
+
+#[test]
+fn shard_count_clamps_to_rows_and_cap() {
+    let net = Network::new(NetworkConfig::mesh(Dims::new(9, 3)).with_step_threads(8)).unwrap();
+    assert_eq!(net.step_threads(), 3);
+    let net = Network::new(NetworkConfig::mesh(Dims::new(8, 8)).with_step_threads(4)).unwrap();
+    assert_eq!(net.step_threads(), 4);
+}
