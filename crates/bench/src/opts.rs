@@ -14,6 +14,9 @@ pub struct Opts {
     /// Run the static pre-flight verification and exit without sweeping
     /// (`--verify-only` or `RUCHE_VERIFY_ONLY=1`).
     pub verify_only: bool,
+    /// Run the `ruche-lint` invariant scan and exit without sweeping
+    /// (`--lint-only` or `RUCHE_LINT_ONLY=1`).
+    pub lint_only: bool,
     /// Capture per-link telemetry for one representative configuration per
     /// synthetic-traffic figure and write the JSON blobs under `results/`
     /// (`--telemetry` or `RUCHE_TELEMETRY=1`).
@@ -77,6 +80,7 @@ impl Opts {
             threads,
             no_cache: flag("--no-cache", "RUCHE_NO_CACHE"),
             verify_only: flag("--verify-only", "RUCHE_VERIFY_ONLY"),
+            lint_only: flag("--lint-only", "RUCHE_LINT_ONLY"),
             telemetry: flag("--telemetry", "RUCHE_TELEMETRY"),
             degradation: flag("--degradation", "RUCHE_DEGRADATION"),
             step_threads,
@@ -90,6 +94,7 @@ impl Opts {
             threads: default_threads(),
             no_cache: false,
             verify_only: false,
+            lint_only: false,
             telemetry: false,
             degradation: false,
             step_threads: 0,
@@ -212,6 +217,15 @@ mod tests {
             8
         );
         assert_eq!(Opts::full().with_step_threads(4).step_threads, 4);
+    }
+
+    #[test]
+    fn parses_lint_only() {
+        assert!(Opts::parse(&strs(&["bench", "--lint-only"]), NO_ENV).lint_only);
+        let env = |k: &str| (k == "RUCHE_LINT_ONLY").then(|| "1".to_string());
+        assert!(Opts::parse(&strs(&["bench"]), env).lint_only);
+        assert!(!Opts::parse(&strs(&["bench"]), NO_ENV).lint_only);
+        assert!(!Opts::full().lint_only);
     }
 
     #[test]

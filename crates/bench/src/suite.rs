@@ -6,6 +6,8 @@ use crate::opts::Opts;
 use crate::out::results_dir;
 use ruche_manycore::prelude::*;
 use ruche_noc::prelude::*;
+// lint:allow(hash-order): the suite cache is keyed by config label and only
+// ever looked up; artifact emission collects the keys and sorts them first.
 use std::collections::HashMap;
 use std::fmt::Write as _;
 

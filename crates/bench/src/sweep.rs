@@ -18,6 +18,8 @@ use crate::out::results_dir;
 use ruche_noc::prelude::*;
 use ruche_stats::Accum;
 use ruche_traffic::{CurvePoint, Pattern, TbResult, Testbench};
+// lint:allow(hash-order): the sweep cache is insert/lookup only; every
+// artifact writer sorts the merged keys before emitting a single byte.
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -1,0 +1,53 @@
+//! `ruche-lint` CLI: lints the workspace and exits non-zero on findings.
+//!
+//! ```text
+//! cargo run -p ruche-lint            # human output
+//! cargo run -p ruche-lint -- --json  # machine output (CI)
+//! cargo run -p ruche-lint -- --root <path>   # lint another checkout
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let root = args
+        .iter()
+        .position(|a| a == "--root")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(ruche_lint::workspace_root);
+    if args.iter().any(|a| a == "--list") {
+        for id in ruche_lint::rules::RULE_IDS {
+            println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let report = match ruche_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ruche-lint: cannot scan {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        for f in &report.findings {
+            println!("{f}");
+        }
+        println!(
+            "ruche-lint: {} file(s) scanned, {} finding(s)",
+            report.files_scanned,
+            report.findings.len()
+        );
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

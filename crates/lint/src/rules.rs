@@ -1,0 +1,351 @@
+//! The lint rules. Each rule is a pure function from scanned lines (plus
+//! the workspace-relative path) to findings; rule scoping by path prefix
+//! and the `lint:allow(<rule>)` escape hatch live here too.
+//!
+//! Rules exist because each guards a determinism or soundness invariant
+//! the repo's artifacts depend on (`docs/SOUNDNESS.md` has the full
+//! rationale table):
+//!
+//! | rule | invariant |
+//! |---|---|
+//! | `no-unwrap` | the simulator core reports errors, it never aborts |
+//! | `wall-clock` | artifacts are functions of inputs, never of time |
+//! | `hash-order` | nothing iterates a hash container into an artifact |
+//! | `safety-comment` | every `unsafe` carries its proof obligation |
+//! | `deprecated-shims` | every shim stays pinned to its replacement |
+//! | `pub-doc` | the public surface of the core crates is documented |
+
+use crate::scan::Line;
+use crate::Finding;
+
+/// How many lines above a match the `lint:allow(<rule>)` marker may sit.
+const ALLOW_WINDOW: usize = 3;
+
+/// All rule ids, for `--list` and the fixture tests.
+pub const RULE_IDS: [&str; 6] = [
+    "no-unwrap",
+    "wall-clock",
+    "hash-order",
+    "safety-comment",
+    "deprecated-shims",
+    "pub-doc",
+];
+
+/// Is a finding of `rule` at line index `idx` suppressed by a nearby
+/// `lint:allow(<rule>): reason` marker? The marker must carry a reason
+/// (the colon is mandatory) — an unexplained allow is itself a finding.
+fn allowed(lines: &[Line], idx: usize, rule: &str) -> bool {
+    let lo = idx.saturating_sub(ALLOW_WINDOW);
+    let marker = format!("lint:allow({rule})");
+    lines[lo..=idx].iter().any(|l| {
+        l.comment
+            .find(&marker)
+            .is_some_and(|p| l.comment[p + marker.len()..].trim_start().starts_with(':'))
+    })
+}
+
+/// Runs every rule that applies to `rel` (workspace-relative, `/`-separated)
+/// over the scanned `lines`.
+pub fn lint_lines(rel: &str, lines: &[Line]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if rel.starts_with("crates/noc/src") {
+        no_unwrap(rel, lines, &mut out);
+    }
+    if !rel.starts_with("crates/bench/src/bin") {
+        wall_clock(rel, lines, &mut out);
+    }
+    hash_order(rel, lines, &mut out);
+    safety_comment(rel, lines, &mut out);
+    if [
+        "crates/noc/src",
+        "crates/verify/src",
+        "crates/telemetry/src",
+    ]
+    .iter()
+    .any(|p| rel.starts_with(p))
+    {
+        pub_doc(rel, lines, &mut out);
+    }
+    out
+}
+
+/// `no-unwrap`: the simulator core (`crates/noc/src`) must never
+/// `.unwrap()` outside tests — a malformed config or a protocol bug must
+/// surface as an error or an `expect` with an invariant message, not as a
+/// bare panic with no context.
+fn no_unwrap(rel: &str, lines: &[Line], out: &mut Vec<Finding>) {
+    for (i, l) in lines.iter().enumerate() {
+        if l.in_test || !l.code.contains(".unwrap()") {
+            continue;
+        }
+        if allowed(lines, i, "no-unwrap") {
+            continue;
+        }
+        out.push(Finding::new(
+            "no-unwrap",
+            rel,
+            i + 1,
+            "`.unwrap()` in the simulator core: return an error or use \
+             `expect(\"<invariant>\")` so a panic names what broke",
+        ));
+    }
+}
+
+/// `wall-clock`: nothing outside the benchmark binaries may read the wall
+/// clock (`Instant`, `SystemTime`). Artifacts must be pure functions of
+/// config + seed; a timestamp smuggled into a result breaks byte-identical
+/// reproduction.
+fn wall_clock(rel: &str, lines: &[Line], out: &mut Vec<Finding>) {
+    for (i, l) in lines.iter().enumerate() {
+        if l.in_test {
+            continue;
+        }
+        let hit = ["Instant", "SystemTime"]
+            .iter()
+            .find(|t| contains_token(&l.code, t));
+        let Some(tok) = hit else { continue };
+        if allowed(lines, i, "wall-clock") {
+            continue;
+        }
+        out.push(Finding::new(
+            "wall-clock",
+            rel,
+            i + 1,
+            format!(
+                "`{tok}` outside the bench binaries: artifacts must be \
+                 functions of (config, seed), never of time"
+            ),
+        ));
+    }
+}
+
+/// `hash-order`: importing `HashMap`/`HashSet` requires a justification
+/// marker (`lint:allow(hash-order): <why iteration order cannot leak>`).
+/// Hash iteration order is nondeterministic across std versions and
+/// platforms; one `for (k, v) in map` feeding a results file silently
+/// breaks byte-identical artifacts.
+fn hash_order(rel: &str, lines: &[Line], out: &mut Vec<Finding>) {
+    for (i, l) in lines.iter().enumerate() {
+        if l.in_test {
+            continue;
+        }
+        let t = l.code.trim_start();
+        if !t.starts_with("use ") || !(t.contains("HashMap") || t.contains("HashSet")) {
+            continue;
+        }
+        if allowed(lines, i, "hash-order") {
+            continue;
+        }
+        out.push(Finding::new(
+            "hash-order",
+            rel,
+            i + 1,
+            "hash container imported without a `lint:allow(hash-order): \
+             <reason>` marker stating why its iteration order cannot reach \
+             an artifact (or switch to BTreeMap/BTreeSet)",
+        ));
+    }
+}
+
+/// `safety-comment`: every `unsafe` keyword must carry a `// SAFETY:`
+/// comment within the few lines above it stating the proof obligation.
+/// Complements clippy's `undocumented_unsafe_blocks` (deny, workspace
+/// lints) by also covering `unsafe impl` and `unsafe fn`.
+fn safety_comment(rel: &str, lines: &[Line], out: &mut Vec<Finding>) {
+    const WINDOW: usize = 8;
+    for (i, l) in lines.iter().enumerate() {
+        if !contains_token(&l.code, "unsafe") {
+            continue;
+        }
+        let lo = i.saturating_sub(WINDOW);
+        if lines[lo..=i].iter().any(|c| c.comment.contains("SAFETY:")) {
+            continue;
+        }
+        if allowed(lines, i, "safety-comment") {
+            continue;
+        }
+        out.push(Finding::new(
+            "safety-comment",
+            rel,
+            i + 1,
+            "`unsafe` without a nearby `// SAFETY:` comment stating the \
+             proof obligation",
+        ));
+    }
+}
+
+/// `pub-doc`: public items of the core crates (`noc`, `verify`,
+/// `telemetry`) must carry doc comments — these crates are the API the
+/// paper-reproduction artifacts and downstream crates program against.
+fn pub_doc(rel: &str, lines: &[Line], out: &mut Vec<Finding>) {
+    const ITEMS: [&str; 10] = [
+        "pub fn ",
+        "pub const fn ",
+        "pub unsafe fn ",
+        "pub async fn ",
+        "pub struct ",
+        "pub enum ",
+        "pub trait ",
+        "pub const ",
+        "pub static ",
+        "pub type ",
+    ];
+    let mut pending_doc = false;
+    let mut attr_depth = 0i32;
+    for (i, l) in lines.iter().enumerate() {
+        if l.in_test {
+            continue;
+        }
+        let t = l.code.trim_start();
+        let rc = l.raw.trim_start();
+        if rc.starts_with("///") || rc.starts_with("/**") {
+            pending_doc = true;
+            continue;
+        }
+        if attr_depth > 0 {
+            attr_depth += bracket_delta(&l.code);
+            continue;
+        }
+        if t.starts_with("#[") {
+            attr_depth += bracket_delta(&l.code);
+            continue;
+        }
+        if t.is_empty() {
+            // Blank or comment-only line: comments between the doc and the
+            // item keep the doc pending; a fully blank line drops it.
+            if l.raw.trim().is_empty() {
+                pending_doc = false;
+            }
+            continue;
+        }
+        // Out-of-line `pub mod name;` is exempt: its docs live as the
+        // `//!` header of the module file itself.
+        let inline_mod = t.starts_with("pub mod ") && !t.trim_end().ends_with(';');
+        let is_item = ITEMS.iter().any(|p| t.starts_with(p)) || inline_mod;
+        if is_item && !pending_doc && !allowed(lines, i, "pub-doc") {
+            out.push(Finding::new(
+                "pub-doc",
+                rel,
+                i + 1,
+                "undocumented public item in a core crate: add a `///` \
+                 doc comment (what it is, when to use it)",
+            ));
+        }
+        pending_doc = false;
+    }
+}
+
+/// Net `[`/`]` balance of a line's code.
+fn bracket_delta(code: &str) -> i32 {
+    code.chars().fold(0, |d, c| match c {
+        '[' => d + 1,
+        ']' => d - 1,
+        _ => d,
+    })
+}
+
+/// Whole-word match: `pat` in `code` not embedded in a longer identifier.
+fn contains_token(code: &str, pat: &str) -> bool {
+    let mut start = 0;
+    while let Some(p) = code[start..].find(pat) {
+        let at = start + p;
+        let before_ok = at == 0
+            || !code[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = code[at + pat.len()..].chars().next();
+        let after_ok = !after.is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + pat.len();
+    }
+    false
+}
+
+/// `deprecated-shims`, a crate-level rule: every `#[deprecated]` item in a
+/// crate's `src/` must be exercised by that crate's
+/// `tests/deprecated_shims.rs` — the one test allowed to call shims, which
+/// pins each to its replacement until removal.
+pub fn deprecated_shims(
+    rel: &str,
+    lines: &[Line],
+    shims_test: Option<&str>,
+    out: &mut Vec<Finding>,
+) {
+    for (i, l) in lines.iter().enumerate() {
+        if l.in_test || !l.code.trim_start().starts_with("#[deprecated") {
+            continue;
+        }
+        // The deprecated item's name: first `fn`/`struct`/`enum`/`type`
+        // name within the next few lines (multi-line attributes allowed).
+        let name = lines[i..lines.len().min(i + 8)].iter().find_map(|n| {
+            let t = n.code.trim_start();
+            ["fn ", "struct ", "enum ", "type "].iter().find_map(|kw| {
+                t.find(kw).map(|p| {
+                    t[p + kw.len()..]
+                        .chars()
+                        .take_while(|c| c.is_alphanumeric() || *c == '_')
+                        .collect::<String>()
+                })
+            })
+        });
+        let Some(name) = name.filter(|n| !n.is_empty()) else {
+            continue;
+        };
+        if allowed(lines, i, "deprecated-shims") {
+            continue;
+        }
+        match shims_test {
+            None => out.push(Finding::new(
+                "deprecated-shims",
+                rel,
+                i + 1,
+                format!(
+                    "deprecated item `{name}` but the crate has no \
+                     tests/deprecated_shims.rs pinning shims to their \
+                     replacements"
+                ),
+            )),
+            Some(text) if !contains_token(text, &name) => out.push(Finding::new(
+                "deprecated-shims",
+                rel,
+                i + 1,
+                format!(
+                    "deprecated item `{name}` is not exercised by \
+                     tests/deprecated_shims.rs — a shim nobody pins can \
+                     silently diverge from its replacement"
+                ),
+            )),
+            Some(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+
+    #[test]
+    fn allow_markers_require_a_reason() {
+        let src = "// lint:allow(no-unwrap)\nlet x = y.unwrap();\n";
+        let lines = scan(src);
+        assert!(
+            !allowed(&lines, 1, "no-unwrap"),
+            "bare allow must not count"
+        );
+        let src = "// lint:allow(no-unwrap): startup only, config is static\nlet x = y.unwrap();\n";
+        let lines = scan(src);
+        assert!(allowed(&lines, 1, "no-unwrap"));
+    }
+
+    #[test]
+    fn token_matching_is_word_bounded() {
+        assert!(contains_token("let t = Instant::now();", "Instant"));
+        assert!(!contains_token("let instantaneous = 3;", "Instant"));
+        assert!(!contains_token("fn my_unsafe_helper()", "unsafe"));
+        assert!(contains_token("unsafe impl Send for X {}", "unsafe"));
+    }
+}

@@ -1,0 +1,11 @@
+// Fixture: deprecated shims must be exercised by tests/deprecated_shims.rs.
+/// Old entry point.
+#[deprecated(since = "0.1.0", note = "use `new_way` instead")]
+pub fn old_way() {}
+
+/// Multi-line attribute form.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Replacement` instead"
+)]
+pub struct OldThing;

@@ -1,0 +1,10 @@
+// Fixture: an unjustified hash-container import must be flagged.
+use std::collections::HashMap;
+
+fn tally(xs: &[u32]) -> HashMap<u32, u32> {
+    let mut m = HashMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}

@@ -1,0 +1,10 @@
+// Fixture: an undocumented public item in a core crate must be flagged.
+pub struct Bare;
+
+/// Documented — must NOT be flagged.
+pub fn fine() {}
+
+#[derive(Debug)]
+pub enum AlsoBare {
+    A,
+}

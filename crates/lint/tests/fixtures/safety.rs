@@ -1,0 +1,9 @@
+// Fixture: `unsafe` without a SAFETY comment must be flagged — the block,
+// the impl, and the fn forms alike.
+struct Ptr(*mut u8);
+
+unsafe impl Send for Ptr {}
+
+fn read(p: &Ptr) -> u8 {
+    unsafe { *p.0 }
+}

@@ -1,0 +1,4 @@
+// Fixture: `.unwrap()` in simulator-core code must be flagged.
+pub fn parse(x: &str) -> u32 {
+    x.parse().unwrap()
+}

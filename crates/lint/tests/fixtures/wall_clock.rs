@@ -1,0 +1,11 @@
+// Fixture: wall-clock reads outside the bench binaries must be flagged.
+use std::time::Instant;
+
+fn measure() -> u128 {
+    let t = Instant::now();
+    t.elapsed().as_nanos()
+}
+
+fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

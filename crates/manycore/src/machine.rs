@@ -25,6 +25,8 @@ use ruche_phys::{EnergyModel, Tech};
 use ruche_stats::Accum;
 use ruche_telemetry::{Prefixed, Probe};
 use serde::{Deserialize, Serialize};
+// lint:allow(hash-order): the intrinsic-latency memo is lookup-only; no
+// machine statistic is derived by iterating it.
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 

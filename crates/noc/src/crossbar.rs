@@ -34,6 +34,7 @@ impl Connectivity {
     /// size-independent crossbar a tiled design would stamp out. Results
     /// are memoized per probe class, so repeated construction is cheap.
     pub fn of(cfg: &NetworkConfig) -> Self {
+        // lint:allow(hash-order): per-probe-class memo, insert/lookup only.
         use std::collections::HashMap;
         use std::sync::{Mutex, OnceLock};
         static MEMO: OnceLock<Mutex<HashMap<String, Connectivity>>> = OnceLock::new();

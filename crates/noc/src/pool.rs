@@ -14,9 +14,19 @@
 //! every task sees only its own part, so results never depend on the
 //! assignment — the determinism argument lives in `docs/PARALLELISM.md`.
 //!
+//! Every protocol transition — epoch publish, task claiming, the barrier,
+//! panic latching, shutdown — is implemented by
+//! [`ruche_soundness::EpochCore`], a pure state machine this module drives
+//! behind its mutex. The `ruche-soundness` model checker exhaustively
+//! enumerates all thread interleavings of that *same* state machine and
+//! proves no lost wakeups, no double-claimed task index, barrier/panic
+//! integrity, and that `Drop` always joins (see `docs/SOUNDNESS.md`); the
+//! protocol checked and the protocol shipped cannot drift apart.
+//!
 //! [`Network`]: crate::sim::Network
 
-use std::sync::{Arc, Condvar, Mutex};
+use ruche_soundness::{Claim, EpochCore, PoolProtocol, Signal, Wake};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
 /// Lifetime-erased pointer to the epoch's task closure. Only valid while
@@ -28,26 +38,37 @@ struct Job(*const (dyn Fn(usize) + Sync));
 // and `run_parts` keeps its referent alive until every task completed.
 unsafe impl Send for Job {}
 
+/// The mutex-guarded pool state: the pure protocol record plus the one
+/// impure ingredient the state machine cannot carry — the epoch's job
+/// pointer. `job` is `Some` exactly while `core` has a published epoch.
 struct State {
-    /// Bumped once per `run_parts` call; workers wake when it moves.
-    epoch: u64,
+    core: EpochCore,
     job: Option<Job>,
-    n_tasks: usize,
-    /// Next unclaimed task index.
-    next: usize,
-    /// Tasks claimed or unclaimed but not yet finished this epoch.
-    unfinished: usize,
-    /// Set when a task panicked; re-raised by the caller after the barrier.
-    panicked: bool,
-    shutdown: bool,
 }
 
 struct Shared {
     state: Mutex<State>,
     /// Workers park here between epochs.
     start: Condvar,
-    /// The caller parks here until `unfinished` reaches zero.
+    /// The caller parks here until the epoch's unfinished count reaches
+    /// zero.
     done: Condvar,
+}
+
+impl Shared {
+    /// Applies a protocol [`Signal`] to the matching condvar, with the
+    /// state lock still held (the pre-existing notify discipline).
+    fn raise(&self, signal: Signal, _held: &MutexGuard<'_, State>) {
+        match signal {
+            Signal::None => {}
+            Signal::Start => {
+                self.start.notify_all();
+            }
+            Signal::Done => {
+                self.done.notify_all();
+            }
+        }
+    }
 }
 
 /// A fixed-size pool of persistent, parked worker threads driven by an
@@ -73,6 +94,10 @@ struct PartsPtr<T>(*mut T);
 // workers dereference disjoint elements; `T: Send` lets the element be
 // mutated from another thread.
 unsafe impl<T: Send> Send for PartsPtr<T> {}
+
+// SAFETY: sharing `&PartsPtr` across threads only exposes the base
+// pointer; disjointness of the elements actually dereferenced is the same
+// claimed-exactly-once argument as for `Send` above.
 unsafe impl<T: Send> Sync for PartsPtr<T> {}
 
 impl StepPool {
@@ -82,13 +107,8 @@ impl StepPool {
     pub fn new(workers: usize) -> Self {
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
-                epoch: 0,
+                core: EpochCore::new(),
                 job: None,
-                n_tasks: 0,
-                next: 0,
-                unfinished: 0,
-                panicked: false,
-                shutdown: false,
             }),
             start: Condvar::new(),
             done: Condvar::new(),
@@ -120,7 +140,8 @@ impl StepPool {
     /// # Panics
     ///
     /// Panics (after the barrier, so no task is left running) if any task
-    /// panicked.
+    /// panicked. The panic is re-raised exactly once and the pool remains
+    /// usable for further epochs.
     pub fn run_parts<T, F>(&self, parts: &mut [T], f: F)
     where
         T: Send,
@@ -136,35 +157,34 @@ impl StepPool {
             // field) so the closure stays `Sync` under disjoint capture.
             let base = &base;
             debug_assert!(i < n);
-            // SAFETY: `i` is claimed exactly once per epoch (mutex-guarded
-            // cursor), so this is the only live reference to `parts[i]`.
+            // SAFETY: `i` is claimed exactly once per epoch (the
+            // `EpochCore` cursor under the mutex; model-checked by
+            // `ruche-soundness`), so this is the only live reference to
+            // `parts[i]`.
             let part = unsafe { &mut *base.0.add(i) };
             f(i, part);
         };
         let erased: *const (dyn Fn(usize) + Sync) = &call;
         // SAFETY: lifetime erasure only. This function does not return (and
-        // `call` / `f` / `parts` stay alive) until `unfinished == 0`, i.e.
-        // until no worker can still dereference the pointer.
+        // `call` / `f` / `parts` stay alive) until the epoch barrier opens,
+        // i.e. until no worker can still dereference the pointer.
         let erased: *const (dyn Fn(usize) + Sync + 'static) =
             unsafe { std::mem::transmute(erased) };
         {
             let mut st = self.shared.state.lock().expect("step pool lock");
-            st.epoch += 1;
+            let sig = st.core.publish(n);
             st.job = Some(Job(erased));
-            st.n_tasks = n;
-            st.next = 0;
-            st.unfinished = n;
-            self.shared.start.notify_all();
+            self.shared.raise(sig, &st);
         }
         // Participate in the epoch, then wait out whatever the workers
         // still hold.
         run_tasks(&self.shared);
         let mut st = self.shared.state.lock().expect("step pool lock");
-        while st.unfinished > 0 {
+        while !st.core.epoch_done() {
             st = self.shared.done.wait(st).expect("step pool lock");
         }
         st.job = None;
-        if std::mem::take(&mut st.panicked) {
+        if st.core.end_epoch() {
             drop(st);
             panic!("a step-pool task panicked");
         }
@@ -175,8 +195,8 @@ impl Drop for StepPool {
     fn drop(&mut self) {
         {
             let mut st = self.shared.state.lock().expect("step pool lock");
-            st.shutdown = true;
-            self.shared.start.notify_all();
+            let sig = st.core.begin_shutdown();
+            self.shared.raise(sig, &st);
         }
         for h in self.workers.drain(..) {
             let _ = h.join();
@@ -190,12 +210,14 @@ fn run_tasks(shared: &Shared) {
     loop {
         let (job, i) = {
             let mut st = shared.state.lock().expect("step pool lock");
-            if st.next >= st.n_tasks {
-                return;
+            match st.core.try_claim() {
+                Claim::Drained => return,
+                // The job is read under the same lock as the claim, so a
+                // claimed index always belongs to the currently published
+                // epoch's job — even if this thread's view of the epoch
+                // counter is stale.
+                Claim::Task(i) => (st.job.as_ref().expect("job published with its tasks").0, i),
             }
-            let i = st.next;
-            st.next += 1;
-            (st.job.as_ref().expect("job published with its tasks").0, i)
         };
         // Catch panics so the epoch always completes and the barrier never
         // hangs; the caller re-raises after the last task finishes.
@@ -204,13 +226,8 @@ fn run_tasks(shared: &Shared) {
         let outcome =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe { (*job)(i) }));
         let mut st = shared.state.lock().expect("step pool lock");
-        if outcome.is_err() {
-            st.panicked = true;
-        }
-        st.unfinished -= 1;
-        if st.unfinished == 0 {
-            shared.done.notify_all();
-        }
+        let sig = st.core.finish_task(outcome.is_err());
+        shared.raise(sig, &st);
     }
 }
 
@@ -219,13 +236,18 @@ fn worker_loop(shared: &Shared) {
     loop {
         {
             let mut st = shared.state.lock().expect("step pool lock");
-            while !st.shutdown && st.epoch == seen {
-                st = shared.start.wait(st).expect("step pool lock");
+            loop {
+                match st.core.worker_wake(seen) {
+                    Wake::Park => {
+                        st = shared.start.wait(st).expect("step pool lock");
+                    }
+                    Wake::Exit => return,
+                    Wake::Run(epoch) => {
+                        seen = epoch;
+                        break;
+                    }
+                }
             }
-            if st.shutdown {
-                return;
-            }
-            seen = st.epoch;
         }
         run_tasks(shared);
     }

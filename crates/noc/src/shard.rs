@@ -44,8 +44,33 @@ impl ShardMap {
         } else {
             threads.max(1).min(rows).min(MAX_SHARDS)
         };
-        let bounds = (0..=k).map(|s| (s * rows / k) * cols).collect();
-        ShardMap { bounds }
+        let bounds: Vec<usize> = (0..=k).map(|s| (s * rows / k) * cols).collect();
+        let map = ShardMap { bounds };
+        map.debug_assert_well_formed(rows, cols);
+        map
+    }
+
+    /// Structural invariants every partition must satisfy: bands start at
+    /// node 0, end at the last node, are non-empty, never overlap, and cut
+    /// only on row boundaries (a band owning half a row would let two
+    /// shards plan the same router). Compiled out in release builds.
+    fn debug_assert_well_formed(&self, rows: usize, cols: usize) {
+        debug_assert_eq!(self.bounds[0], 0, "band 0 must start at node 0");
+        debug_assert_eq!(
+            *self.bounds.last().expect("bounds non-empty"),
+            rows * cols,
+            "the last band must end at the last node"
+        );
+        debug_assert!(
+            rows * cols == 0 || self.bounds.windows(2).all(|w| w[0] < w[1]),
+            "bands must be non-empty and non-overlapping: {:?}",
+            self.bounds
+        );
+        debug_assert!(
+            cols == 0 || self.bounds.iter().all(|b| b % cols == 0),
+            "every cut must fall on a row boundary: {:?} (cols = {cols})",
+            self.bounds
+        );
     }
 
     /// Number of shards (at least 1).
@@ -221,5 +246,64 @@ mod tests {
     #[test]
     fn shard_count_is_capped() {
         assert_eq!(ShardMap::new(Dims::new(2, 500), 500).count(), MAX_SHARDS);
+    }
+
+    #[test]
+    fn more_threads_than_rows_never_makes_an_empty_band() {
+        // rows < threads is the classic off-by-one trap: a naive
+        // `rows / threads` split would hand some bands zero rows.
+        for rows in 1..=6u16 {
+            for threads in (rows as usize + 1)..=2 * MAX_SHARDS {
+                let map = ShardMap::new(Dims::new(4, rows), threads);
+                assert_eq!(map.count(), rows as usize, "rows={rows} threads={threads}");
+                for s in 0..map.count() {
+                    assert!(
+                        !map.range(s).is_empty(),
+                        "empty band {s} at rows={rows} threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_partition_in_a_broad_sweep_is_well_formed() {
+        // Exhaustive small sweep: every (rows, cols, threads) combination
+        // must produce contiguous, row-aligned, non-empty bands that cover
+        // the grid exactly once. (The constructor debug_asserts the same
+        // invariants; this test keeps them checked in release runs too.)
+        for rows in 1..=9u16 {
+            for cols in 1..=5u16 {
+                for threads in 0..=12usize {
+                    let dims = Dims::new(cols, rows);
+                    let map = ShardMap::new(dims, threads);
+                    let mut next = 0;
+                    for s in 0..map.count() {
+                        let r = map.range(s);
+                        assert_eq!(r.start, next, "gap before band {s} ({dims:?}, {threads})");
+                        assert!(!r.is_empty(), "empty band {s} ({dims:?}, {threads})");
+                        assert_eq!(
+                            r.start % cols as usize,
+                            0,
+                            "band {s} cuts mid-row ({dims:?}, {threads})"
+                        );
+                        next = r.end;
+                    }
+                    assert_eq!(next, dims.count(), "partition must cover the grid");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_of_agrees_with_range_at_every_boundary() {
+        // Boundary nodes are where partition_point off-by-ones would bite:
+        // the last node of band s and the first of band s+1.
+        let map = ShardMap::new(Dims::new(7, 11), 4);
+        for s in 0..map.count() {
+            let r = map.range(s);
+            assert_eq!(map.shard_of(r.start), s, "first node of band {s}");
+            assert_eq!(map.shard_of(r.end - 1), s, "last node of band {s}");
+        }
     }
 }

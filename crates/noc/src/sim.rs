@@ -916,6 +916,12 @@ impl Network {
                     st,
                 });
             }
+            // Every per-node array must be consumed exactly: leftovers mean
+            // some nodes belong to no shard (their state would silently
+            // never be planned).
+            debug_assert!(act.is_empty(), "{} active node(s) unassigned", act.len());
+            debug_assert!(orr.is_empty() && irr.is_empty() && swa.is_empty());
+            debug_assert!(rc.is_empty(), "route-cache tail unassigned");
         }
         match pool {
             Some(p) if k > 1 => p.run_parts(&mut chunks[..k], |_, slot| {
@@ -1002,6 +1008,11 @@ impl Network {
                     st,
                 });
             }
+            // Mirror of the plan-phase check: a leftover band here would be
+            // a shard of routers that never commits.
+            debug_assert!(rts.is_empty(), "{} router(s) unassigned", rts.len());
+            debug_assert!(occ.is_empty() && trv.is_empty() && ona.is_empty());
+            debug_assert!(rc.is_empty(), "route-cache tail unassigned");
         }
         match pool {
             Some(p) if k > 1 => p.run_parts(&mut chunks[..k], |_, slot| {
@@ -1101,7 +1112,18 @@ fn resolve_step_threads(knob: usize) -> usize {
 }
 
 /// Peels a `len`-element chunk off the front of `*rest`.
+///
+/// Chunking a per-node array into per-shard `&mut` bands this way is what
+/// lets the pool's tasks mutate disjoint state without locks, so the
+/// accounting must be airtight: a `len` beyond the remainder means the
+/// per-shard size arithmetic diverged from the allocation.
 fn split_prefix<'a, T>(rest: &mut &'a mut [T], len: usize) -> &'a mut [T] {
+    debug_assert!(
+        len <= rest.len(),
+        "shard chunk wants {len} element(s) but only {} remain: per-shard \
+         sizing diverged from the backing allocation",
+        rest.len()
+    );
     let (head, tail) = std::mem::take(rest).split_at_mut(len);
     *rest = tail;
     head

@@ -1,0 +1,109 @@
+//! Panic-path contract of [`ruche_noc::pool::StepPool`]: a task panic is
+//! re-raised **exactly once**, at the caller's barrier, and never corrupts
+//! the pool — further epochs work and `Drop` never deadlocks. These paths
+//! are exactly the ones the `ruche-soundness` model checker explores with
+//! `Bound::with_panic`; the tests here confirm the real condvar/unwind
+//! machinery matches the modeled protocol.
+
+use ruche_noc::pool::StepPool;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Runs `f` on its own thread and asserts it finishes within `secs`
+/// seconds — the watchdog that turns a deadlocked `Drop` into a test
+/// failure instead of a hung suite.
+fn finishes_within(secs: u64, f: impl FnOnce() + Send + 'static) {
+    let (tx, rx) = mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        f();
+        let _ = tx.send(());
+    });
+    rx.recv_timeout(Duration::from_secs(secs))
+        .expect("deadlock: the pool operation never completed");
+    handle.join().expect("watchdog thread");
+}
+
+#[test]
+fn many_panicking_tasks_reraise_exactly_once() {
+    let pool = StepPool::new(3);
+    let mut parts = vec![0u8; 12];
+    let unwound = AtomicUsize::new(0);
+    let res = catch_unwind(AssertUnwindSafe(|| {
+        pool.run_parts(&mut parts, |i, _| {
+            if i % 2 == 0 {
+                unwound.fetch_add(1, Ordering::SeqCst);
+                panic!("task {i} panics");
+            }
+        });
+    }));
+    // Six tasks panicked, but the barrier surfaces one panic, once.
+    assert!(res.is_err(), "the barrier must re-raise");
+    assert_eq!(unwound.load(Ordering::SeqCst), 6, "every even task unwound");
+}
+
+#[test]
+fn pool_stays_usable_after_a_panicked_epoch() {
+    let pool = StepPool::new(2);
+    let mut parts = vec![0u32; 8];
+    for round in 0..3 {
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_parts(&mut parts, |i, _| assert!(i != 5, "round {round}"));
+        }));
+        assert!(res.is_err(), "round {round} must re-raise");
+        // The panic flag must not leak into the next (clean) epoch.
+        pool.run_parts(&mut parts, |_, p| *p += 1);
+    }
+    assert!(parts.iter().all(|&p| p == 3), "{parts:?}");
+}
+
+#[test]
+fn drop_after_a_panicked_epoch_never_deadlocks() {
+    finishes_within(30, || {
+        let pool = StepPool::new(4);
+        let mut parts = vec![(); 16];
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_parts(&mut parts, |i, _| assert!(i < 2, "late tasks panic"));
+        }));
+        assert!(res.is_err());
+        drop(pool); // must join all four workers
+    });
+}
+
+#[test]
+fn drop_of_an_idle_pool_never_deadlocks() {
+    finishes_within(30, || {
+        // No epoch was ever published: workers are parked on `start` with
+        // `seen == epoch == 0`; shutdown alone must wake and exit them.
+        drop(StepPool::new(4));
+    });
+}
+
+#[test]
+fn serial_path_panics_propagate_directly() {
+    // With zero workers every task runs on the caller; the panic still
+    // surfaces after the (trivial) barrier and the pool still survives.
+    let pool = StepPool::new(0);
+    let mut parts = vec![0u8; 4];
+    let res = catch_unwind(AssertUnwindSafe(|| {
+        pool.run_parts(&mut parts, |i, _| assert!(i != 2));
+    }));
+    assert!(res.is_err());
+    pool.run_parts(&mut parts, |_, p| *p = 7);
+    assert!(parts.iter().all(|&p| p == 7));
+}
+
+#[test]
+fn panic_in_the_first_task_of_the_first_epoch() {
+    // The earliest possible unwind: before any worker necessarily woke.
+    let pool = StepPool::new(2);
+    let mut parts = vec![(); 1];
+    let res = catch_unwind(AssertUnwindSafe(|| {
+        pool.run_parts(&mut parts, |_, _| panic!("immediately"));
+    }));
+    assert!(res.is_err());
+    let mut more = vec![0u8; 6];
+    pool.run_parts(&mut more, |_, p| *p = 1);
+    assert!(more.iter().all(|&p| p == 1));
+}

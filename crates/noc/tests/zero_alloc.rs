@@ -6,6 +6,10 @@
 //! buffers to their high-water marks, further cycles — including active
 //! traffic — must allocate nothing.
 
+// Counting host allocations is meaningless (and unsupported for a
+// `#[global_allocator]`) under Miri's interpreted heap.
+#![cfg(not(miri))]
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use ruche_noc::packet::Flit;
@@ -17,18 +21,27 @@ struct CountingAlloc;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: pure pass-through to the `System` allocator plus a relaxed
+// counter bump; every `GlobalAlloc` contract obligation is met by `System`
+// itself.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwarded verbatim; the caller upholds `alloc`'s layout
+        // contract.
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: forwarded verbatim; `ptr` came from this allocator,
+        // which is `System`.
         unsafe { System.dealloc(ptr, layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwarded verbatim; `ptr` came from this allocator,
+        // which is `System`.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

@@ -1,0 +1,176 @@
+//! Deliberately broken protocol variants.
+//!
+//! Each variant wraps [`EpochCore`] and sabotages exactly one transition,
+//! modeling a realistic implementation slip. The negative tests in
+//! `tests/model_checker.rs` prove that the model checker catches every one
+//! of them with a concrete failing-schedule witness — the same "the
+//! verifier must be able to fail" discipline `ruche-verify` applies to its
+//! deadlock checker (a dateline-disabled torus must yield a cycle
+//! witness).
+
+use crate::protocol::{Claim, EpochCore, Observed, PoolProtocol, Signal, Wake};
+
+/// Forwards every [`PoolProtocol`] method to `self.0` except the ones the
+/// variant overrides.
+macro_rules! delegate_rest {
+    ($($method:ident),*) => {
+        $(delegate_rest!(@one $method);)*
+    };
+    (@one publish) => {
+        fn publish(&mut self, n_tasks: usize) -> Signal { self.0.publish(n_tasks) }
+    };
+    (@one try_claim) => {
+        fn try_claim(&mut self) -> Claim { self.0.try_claim() }
+    };
+    (@one finish_task) => {
+        fn finish_task(&mut self, panicked: bool) -> Signal { self.0.finish_task(panicked) }
+    };
+    (@one epoch_done) => {
+        fn epoch_done(&self) -> bool { self.0.epoch_done() }
+    };
+    (@one end_epoch) => {
+        fn end_epoch(&mut self) -> bool { self.0.end_epoch() }
+    };
+    (@one begin_shutdown) => {
+        fn begin_shutdown(&mut self) -> Signal { self.0.begin_shutdown() }
+    };
+    (@one worker_wake) => {
+        fn worker_wake(&self, seen: u64) -> Wake { self.0.worker_wake(seen) }
+    };
+    (@one observe) => {
+        fn observe(&self) -> Observed { self.0.observe() }
+    };
+}
+
+/// Publishes a job **without bumping the epoch counter**: parked workers
+/// are notified, re-evaluate their guard, see an unchanged epoch, and park
+/// again while the job still has unclaimed tasks — the textbook lost
+/// wakeup. Caught as [`Violation::LostWakeup`].
+///
+/// [`Violation::LostWakeup`]: crate::model::Violation::LostWakeup
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct NoEpochBump(pub EpochCore);
+
+impl PoolProtocol for NoEpochBump {
+    fn publish(&mut self, n_tasks: usize) -> Signal {
+        // Replays `EpochCore::publish` minus the `epoch += 1`, by
+        // publishing on a scratch copy and keeping its epoch unchanged.
+        let before = self.0.observe().epoch;
+        let sig = self.0.publish(n_tasks);
+        self.0.set_epoch_for_test(before);
+        sig
+    }
+    delegate_rest!(
+        try_claim,
+        finish_task,
+        epoch_done,
+        end_epoch,
+        begin_shutdown,
+        worker_wake,
+        observe
+    );
+}
+
+/// Requests shutdown **without notifying the `start` condvar**: parked
+/// workers never observe the flag, `Drop`'s join blocks forever. Caught as
+/// [`Violation::Deadlock`] with every worker parked on `start`.
+///
+/// [`Violation::Deadlock`]: crate::model::Violation::Deadlock
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct SilentShutdown(pub EpochCore);
+
+impl PoolProtocol for SilentShutdown {
+    fn begin_shutdown(&mut self) -> Signal {
+        let _ = self.0.begin_shutdown();
+        Signal::None
+    }
+    delegate_rest!(
+        publish,
+        try_claim,
+        finish_task,
+        epoch_done,
+        end_epoch,
+        worker_wake,
+        observe
+    );
+}
+
+/// Claims a task **without advancing the cursor**: two threads (or one
+/// thread twice) receive the same task index, i.e. overlapping `&mut`
+/// parts — exactly the aliasing the real pool's `SAFETY` comments rule
+/// out. Caught as [`Violation::DoubleClaim`].
+///
+/// [`Violation::DoubleClaim`]: crate::model::Violation::DoubleClaim
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct StuckCursor(pub EpochCore);
+
+impl PoolProtocol for StuckCursor {
+    fn try_claim(&mut self) -> Claim {
+        let obs = self.0.observe();
+        if obs.next >= obs.n_tasks {
+            return Claim::Drained;
+        }
+        // Hand out the index but "forget" `next += 1`.
+        Claim::Task(obs.next)
+    }
+    delegate_rest!(
+        publish,
+        finish_task,
+        epoch_done,
+        end_epoch,
+        begin_shutdown,
+        worker_wake,
+        observe
+    );
+}
+
+/// Finishes the last task of an epoch **without signaling `done`**: the
+/// caller blocks on the barrier forever while the workers park. Caught as
+/// [`Violation::Deadlock`] with the caller blocked on `done`.
+///
+/// [`Violation::Deadlock`]: crate::model::Violation::Deadlock
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct ForgottenDoneNotify(pub EpochCore);
+
+impl PoolProtocol for ForgottenDoneNotify {
+    fn finish_task(&mut self, panicked: bool) -> Signal {
+        let _ = self.0.finish_task(panicked);
+        Signal::None
+    }
+    delegate_rest!(
+        publish,
+        try_claim,
+        epoch_done,
+        end_epoch,
+        begin_shutdown,
+        worker_wake,
+        observe
+    );
+}
+
+/// A worker guard that observes the epoch counter **torn** (one increment
+/// ahead of the published value, as a non-atomic read could): the worker
+/// records a `seen` the pool will never publish and spins between claim
+/// and park without ever blocking. Caught as [`Violation::Livelock`].
+///
+/// [`Violation::Livelock`]: crate::model::Violation::Livelock
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct TornEpochRead(pub EpochCore);
+
+impl PoolProtocol for TornEpochRead {
+    fn worker_wake(&self, seen: u64) -> Wake {
+        match self.0.worker_wake(seen) {
+            Wake::Run(epoch) => Wake::Run(epoch + 1),
+            other => other,
+        }
+    }
+    delegate_rest!(
+        publish,
+        try_claim,
+        finish_task,
+        epoch_done,
+        end_epoch,
+        begin_shutdown,
+        observe
+    );
+}

@@ -1,0 +1,639 @@
+//! A bounded-exhaustive model checker ("mini-loom") for the pool protocol.
+//!
+//! The checker models the threads of the real pool — one publishing
+//! *caller* and `workers` pooled *workers* — as explicit state machines
+//! whose only shared state is a [`PoolProtocol`] value plus two modeled
+//! condvars. Every mutex critical section of the real pool becomes one
+//! **atomic action**; because the mutex serializes critical sections, the
+//! set of observable behaviors is exactly the set of orderings of those
+//! actions, and the checker DFS-enumerates *all* of them up to the
+//! configured [`Bound`]. Condvars are modeled Mesa-style and **without
+//! spurious wakeups** — a thread leaves a wait set only when notified, so a
+//! forgotten notification cannot be masked by a lucky spurious wakeup and
+//! instead surfaces as a deadlock or lost-wakeup violation.
+//!
+//! On every explored schedule the checker asserts:
+//!
+//! * **no double claim** — each task index of an epoch is claimed at most
+//!   once, and every claim names a task of the currently published epoch;
+//! * **no lost wakeup** — a worker never parks while the published epoch
+//!   still has unclaimed tasks, and the caller never blocks on a finished
+//!   barrier;
+//! * **barrier integrity** — when the caller retires an epoch, every task
+//!   was claimed and finished, and the panic flag it observes is exactly
+//!   "some task of *this* epoch panicked" (re-raised once, never lost,
+//!   never duplicated);
+//! * **drop always joins** — every schedule ends with all workers exited
+//!   and the caller's join completed; a schedule with blocked threads and
+//!   no runnable one is a deadlock, reported with a full schedule witness;
+//! * **bounded progress** — a schedule exceeding the step budget for its
+//!   bound is reported as a livelock (e.g. a worker spinning on a torn
+//!   epoch read).
+//!
+//! A failing schedule is reported as a [`Witness`]: the exact interleaving
+//! of atomic actions that reaches the violation, in the same
+//! counterexample-first spirit as `ruche-verify`'s channel-dependency cycle
+//! witnesses.
+
+use crate::protocol::{Claim, PoolProtocol, Signal, Wake};
+// lint:allow(hash-order): memo keys are only inserted and looked up, never
+// iterated — exploration order is the deterministic DFS order, and every
+// reported statistic is a sum/max over the full state space.
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Caller thread id in witnesses and invariant reports.
+pub const CALLER: usize = 0;
+
+/// Upper limit on modeled threads (1 caller + workers).
+pub const MAX_MODEL_THREADS: usize = 6;
+
+/// Upper limit on tasks per modeled epoch (claim bookkeeping is a bitmask).
+pub const MAX_MODEL_TASKS: usize = 16;
+
+/// Exploration bound: the modeled pool shape and workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bound {
+    /// Pooled worker threads (the caller participates too, as in the real
+    /// pool). At most [`MAX_MODEL_THREADS`]` - 1`.
+    pub workers: usize,
+    /// Epochs the caller publishes before requesting shutdown.
+    pub epochs: usize,
+    /// Tasks per epoch. At most [`MAX_MODEL_TASKS`].
+    pub tasks: usize,
+    /// Make task `(epoch, task)` panic, to model the unwind path
+    /// (`0`-based epoch index).
+    pub panic_task: Option<(usize, usize)>,
+}
+
+impl Bound {
+    /// A bound with no panicking task.
+    pub fn new(workers: usize, epochs: usize, tasks: usize) -> Self {
+        Bound {
+            workers,
+            epochs,
+            tasks,
+            panic_task: None,
+        }
+    }
+
+    /// The same bound with task `(epoch, task)` panicking.
+    pub fn with_panic(mut self, epoch: usize, task: usize) -> Self {
+        self.panic_task = Some((epoch, task));
+        self
+    }
+
+    /// Generous per-schedule step budget; exceeding it means a modeled
+    /// thread is spinning (livelock).
+    fn max_steps(&self) -> usize {
+        64 + 8 * (1 + self.workers) * (self.epochs + 1) * (self.tasks + 2)
+    }
+}
+
+/// One atomic action of a modeled thread — one mutex critical section of
+/// the real pool. Kept `Copy`-small: the DFS records millions of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// Caller published an epoch and notified `start`.
+    Publish { epoch: usize, tasks: usize },
+    /// A thread claimed task `task` of the current epoch.
+    Claim { task: usize },
+    /// A thread found the current epoch drained.
+    Drained,
+    /// A thread finished task `task`; `last` means the barrier opened and
+    /// `done` was notified.
+    Finish {
+        task: usize,
+        panicked: bool,
+        last: bool,
+    },
+    /// Caller found the barrier still closed and blocked on `done`.
+    CallerBlocked,
+    /// Caller retired the epoch, observing the panic flag.
+    Retire { epoch: usize, panicked: bool },
+    /// Caller requested shutdown and notified `start`.
+    Shutdown,
+    /// Caller joined all exited workers (the `Drop` join).
+    Join,
+    /// Worker parked on `start`.
+    Park,
+    /// Worker observed a new epoch and started claiming.
+    Wake { epoch: u64 },
+    /// Worker observed shutdown and exited.
+    Exit,
+}
+
+/// A protocol-invariant violation found on some schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A worker parked while the published epoch still had unclaimed
+    /// tasks: the wakeup that should have reached it was lost.
+    LostWakeup { thread: usize, unclaimed: usize },
+    /// A task index was claimed twice within one epoch.
+    DoubleClaim { thread: usize, task: usize },
+    /// A claim named a task outside the published epoch (torn or stale
+    /// epoch state).
+    ClaimOutOfRange { thread: usize, task: usize },
+    /// The caller retired an epoch in which some task was never claimed.
+    LostTask { epoch: usize, task: usize },
+    /// The panic flag at the barrier did not match the epoch's tasks
+    /// (a panic was lost, duplicated, or leaked across epochs).
+    PanicMisreported {
+        epoch: usize,
+        expected: bool,
+        got: bool,
+    },
+    /// No thread was runnable but some had not exited.
+    Deadlock { blocked: Vec<(usize, String)> },
+    /// A schedule exceeded the step budget for its bound.
+    Livelock { steps: usize },
+}
+
+/// The failing schedule: every atomic action from the initial state to the
+/// violation, in execution order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Witness {
+    /// `(thread, action)` pairs; thread [`CALLER`] is the caller.
+    pub steps: Vec<(usize, Event)>,
+}
+
+/// A found violation plus the schedule that reaches it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Failure {
+    /// What invariant broke.
+    pub violation: Violation,
+    /// The interleaving that breaks it.
+    pub witness: Witness,
+    /// Distinct model states fully explored before the failing schedule.
+    pub states_before: u64,
+}
+
+/// Exploration statistics for a passing run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stats {
+    /// Complete schedules explored, every one satisfying all invariants
+    /// (exact; saturates at `u64::MAX`). Schedules that pass through a
+    /// shared intermediate state are all counted — the explorer visits
+    /// each *state* once and combines counts by dynamic programming.
+    pub schedules: u64,
+    /// Distinct model states visited (the actual exploration work).
+    pub states: u64,
+    /// Longest schedule, in atomic actions.
+    pub max_depth: usize,
+    /// Whether any schedule had a *worker* (not the caller) claim a task —
+    /// a vacuity check that the bound actually exercises handoff.
+    pub workers_participated: bool,
+}
+
+/// Model-checking outcome at a [`Bound`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckResult {
+    /// Every interleaving satisfied every invariant.
+    Pass(Stats),
+    /// Some interleaving violated an invariant; here is the schedule.
+    Fail(Box<Failure>),
+    /// The distinct-state cap was hit before exploration finished; the
+    /// bound is too large to be exhaustive under this cap.
+    CapExceeded {
+        /// The configured cap (distinct model states).
+        cap: u64,
+    },
+}
+
+/// Program counter of a modeled thread. One variant per blocking point /
+/// atomic action of the real pool's caller and worker loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Pc {
+    /// Caller: publish epoch `e` (0-based).
+    Publish { e: usize },
+    /// Caller: claim loop of epoch `e` (the caller participates).
+    CallerClaim { e: usize },
+    /// Caller: finish the claimed task.
+    CallerFinish { e: usize, task: usize, panics: bool },
+    /// Caller: barrier — retire the epoch once `epoch_done()`.
+    WaitDone { e: usize },
+    /// Caller: request shutdown (`Drop`).
+    Shutdown,
+    /// Caller: join workers (runnable only once all workers exited).
+    Join,
+    /// Worker: evaluate the park guard.
+    Park,
+    /// Worker: claim loop.
+    WorkerClaim,
+    /// Worker: finish the claimed task.
+    WorkerFinish { task: usize, panics: bool },
+    /// Thread terminated.
+    Exited,
+}
+
+/// Full model state: protocol + thread PCs + condvar wait sets. Fixed-size
+/// so cloning at every DFS branch is a memcpy plus `P::clone`, and
+/// hashable so identical states reached along different schedules are
+/// explored once (their schedule counts combine by dynamic programming).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ModelState<P> {
+    proto: P,
+    pcs: [Pc; MAX_MODEL_THREADS],
+    /// Last epoch observed by each worker (index 0 unused).
+    seen: [u64; MAX_MODEL_THREADS],
+    /// Bitmask of threads parked on the `start` condvar.
+    wait_start: u32,
+    /// Bitmask of threads parked on the `done` condvar.
+    wait_done: u32,
+    /// Bitmask of tasks claimed in the current epoch.
+    claimed: u32,
+    /// Epochs published so far (current epoch index is `published - 1`).
+    published: usize,
+}
+
+/// Exhaustively explores every interleaving of the pool protocol at
+/// `bound`, starting from `proto`, stopping at the first violation or
+/// after `cap` *distinct model states* (a memory guard — the schedule
+/// count itself may be astronomically larger, since identical states
+/// reached along different schedules are explored once and their schedule
+/// counts combine by dynamic programming; the count saturates at
+/// `u64::MAX`).
+///
+/// The exploration is deterministic: runnable threads are tried in
+/// ascending id order, so the schedule count, the statistics, and any
+/// witness are stable across runs. Memoization cannot mask a violation:
+/// whether an action violates an invariant depends only on the state it
+/// runs in, so a state whose subtree was once explored violation-free
+/// stays violation-free however it is reached.
+pub fn check<P: PoolProtocol + Clone + Eq + Hash>(
+    proto: P,
+    bound: &Bound,
+    cap: u64,
+) -> CheckResult {
+    assert!(
+        bound.workers < MAX_MODEL_THREADS,
+        "at most {} workers",
+        MAX_MODEL_THREADS - 1
+    );
+    assert!(
+        bound.tasks <= MAX_MODEL_TASKS && bound.tasks >= 1,
+        "1..={MAX_MODEL_TASKS} tasks"
+    );
+    assert!(bound.epochs >= 1, "at least one epoch");
+    if let Some((e, t)) = bound.panic_task {
+        assert!(e < bound.epochs && t < bound.tasks, "panic task in bound");
+    }
+    let mut pcs = [Pc::Exited; MAX_MODEL_THREADS];
+    pcs[CALLER] = Pc::Publish { e: 0 };
+    for pc in pcs.iter_mut().take(bound.workers + 1).skip(1) {
+        *pc = Pc::Park;
+    }
+    let state = ModelState {
+        proto,
+        pcs,
+        seen: [0; MAX_MODEL_THREADS],
+        wait_start: 0,
+        wait_done: 0,
+        claimed: 0,
+        published: 0,
+    };
+    let mut ex = Explorer {
+        bound: *bound,
+        cap,
+        n_threads: bound.workers + 1,
+        max_steps: bound.max_steps(),
+        trail: Vec::new(),
+        memo: HashMap::new(),
+    };
+    match ex.dfs(&state) {
+        Err(Interrupt::Violation(v)) => CheckResult::Fail(Box::new(Failure {
+            violation: v,
+            witness: Witness {
+                steps: ex.trail.clone(),
+            },
+            states_before: ex.memo.len() as u64,
+        })),
+        Err(Interrupt::Cap) => CheckResult::CapExceeded { cap },
+        Ok(sub) => CheckResult::Pass(Stats {
+            schedules: sub.schedules,
+            states: ex.memo.len() as u64,
+            max_depth: sub.depth,
+            workers_participated: sub.worker_claim,
+        }),
+    }
+}
+
+/// Why a DFS unwinds early.
+enum Interrupt {
+    /// Invariant violated; the explorer's trail is the witness.
+    Violation(Violation),
+    /// Distinct-state cap reached.
+    Cap,
+}
+
+/// Memoized summary of the subtree below one model state.
+#[derive(Debug, Clone, Copy)]
+struct Sub {
+    /// Complete schedules reachable from this state (saturating).
+    schedules: u64,
+    /// Longest schedule suffix from this state, in atomic actions.
+    depth: usize,
+    /// Whether any reachable schedule has a worker claim a task.
+    worker_claim: bool,
+}
+
+struct Explorer<P> {
+    bound: Bound,
+    cap: u64,
+    n_threads: usize,
+    max_steps: usize,
+    /// Actions of the schedule currently being explored (pushed on
+    /// descend, popped on backtrack) — becomes the witness on violation.
+    trail: Vec<(usize, Event)>,
+    /// Subtree summaries of fully explored states. A memo hit means the
+    /// state's entire subtree is violation-free; its counts fold in
+    /// without re-exploration.
+    memo: HashMap<ModelState<P>, Sub>,
+}
+
+impl<P: PoolProtocol + Clone + Eq + Hash> Explorer<P> {
+    fn dfs(&mut self, st: &ModelState<P>) -> Result<Sub, Interrupt> {
+        if let Some(&sub) = self.memo.get(st) {
+            return Ok(sub);
+        }
+        let mut sub = Sub {
+            schedules: 0,
+            depth: 0,
+            worker_claim: false,
+        };
+        let mut any_runnable = false;
+        for t in 0..self.n_threads {
+            if !runnable(st, t, self.n_threads) {
+                continue;
+            }
+            any_runnable = true;
+            if self.trail.len() >= self.max_steps {
+                return Err(Interrupt::Violation(Violation::Livelock {
+                    steps: self.trail.len(),
+                }));
+            }
+            let mut next = st.clone();
+            let ev = step(&mut next, t, &self.bound).map_err(Interrupt::Violation)?;
+            self.trail.push((t, ev));
+            let below = self.dfs(&next)?;
+            self.trail.pop();
+            sub.schedules = sub.schedules.saturating_add(below.schedules);
+            sub.depth = sub.depth.max(1 + below.depth);
+            sub.worker_claim |=
+                below.worker_claim || (t != CALLER && matches!(ev, Event::Claim { .. }));
+        }
+        if !any_runnable {
+            if st.pcs[..self.n_threads].iter().any(|&pc| pc != Pc::Exited) {
+                let blocked = st.pcs[..self.n_threads]
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &pc)| pc != Pc::Exited)
+                    .map(|(t, &pc)| (t, describe_block(pc, st.wait_start, st.wait_done, t)))
+                    .collect();
+                return Err(Interrupt::Violation(Violation::Deadlock { blocked }));
+            }
+            // A complete, invariant-clean schedule ends here.
+            sub.schedules = 1;
+        }
+        if self.memo.len() as u64 >= self.cap {
+            return Err(Interrupt::Cap);
+        }
+        self.memo.insert(st.clone(), sub);
+        Ok(sub)
+    }
+}
+
+/// Whether thread `t` can take an atomic action now.
+fn runnable<P>(st: &ModelState<P>, t: usize, n_threads: usize) -> bool {
+    let bit = 1u32 << t;
+    if st.pcs[t] == Pc::Exited || st.wait_start & bit != 0 || st.wait_done & bit != 0 {
+        return false;
+    }
+    if st.pcs[t] == Pc::Join {
+        // `join()` blocks until every worker thread has terminated.
+        return st.pcs[1..n_threads].iter().all(|&pc| pc == Pc::Exited);
+    }
+    true
+}
+
+/// Applies `sig` to the modeled condvars: `notify_all` moves every waiter
+/// back to runnable; each re-evaluates its guard in its own next action
+/// (Mesa semantics).
+fn notify<P>(st: &mut ModelState<P>, sig: Signal) {
+    match sig {
+        Signal::None => {}
+        Signal::Start => st.wait_start = 0,
+        Signal::Done => st.wait_done = 0,
+    }
+}
+
+/// Records a claim and checks the claim invariants.
+fn claim_task<P: PoolProtocol>(
+    st: &mut ModelState<P>,
+    t: usize,
+    task: usize,
+    bound: &Bound,
+) -> Result<bool, Violation> {
+    let obs = st.proto.observe();
+    if !obs.has_job || task >= obs.n_tasks || task >= MAX_MODEL_TASKS {
+        return Err(Violation::ClaimOutOfRange { thread: t, task });
+    }
+    let bit = 1u32 << task;
+    if st.claimed & bit != 0 {
+        return Err(Violation::DoubleClaim { thread: t, task });
+    }
+    st.claimed |= bit;
+    // Panics are tied to the *currently published* epoch: a worker whose
+    // `seen` lags may legitimately claim tasks of the next epoch (job and
+    // cursor are read under one lock), and the model mirrors that.
+    Ok(bound.panic_task == Some((st.published - 1, task)))
+}
+
+/// Executes one atomic action of thread `t`.
+fn step<P: PoolProtocol + Clone>(
+    st: &mut ModelState<P>,
+    t: usize,
+    bound: &Bound,
+) -> Result<Event, Violation> {
+    let bit = 1u32 << t;
+    match st.pcs[t] {
+        Pc::Publish { e } => {
+            let sig = st.proto.publish(bound.tasks);
+            st.claimed = 0;
+            st.published += 1;
+            notify(st, sig);
+            st.pcs[t] = Pc::CallerClaim { e };
+            Ok(Event::Publish {
+                epoch: e,
+                tasks: bound.tasks,
+            })
+        }
+        Pc::CallerClaim { e } => match st.proto.try_claim() {
+            Claim::Task(task) => {
+                let panics = claim_task(st, t, task, bound)?;
+                st.pcs[t] = Pc::CallerFinish { e, task, panics };
+                Ok(Event::Claim { task })
+            }
+            Claim::Drained => {
+                st.pcs[t] = Pc::WaitDone { e };
+                Ok(Event::Drained)
+            }
+        },
+        Pc::CallerFinish { e, task, panics } => {
+            let sig = st.proto.finish_task(panics);
+            let last = sig == Signal::Done;
+            notify(st, sig);
+            st.pcs[t] = Pc::CallerClaim { e };
+            Ok(Event::Finish {
+                task,
+                panicked: panics,
+                last,
+            })
+        }
+        Pc::WaitDone { e } => {
+            if st.proto.epoch_done() {
+                // Barrier integrity: every task of the epoch was claimed
+                // (and, since the barrier opened, finished).
+                for task in 0..bound.tasks {
+                    if st.claimed & (1u32 << task) == 0 {
+                        return Err(Violation::LostTask { epoch: e, task });
+                    }
+                }
+                let got = st.proto.end_epoch();
+                let expected = bound.panic_task.is_some_and(|(pe, _)| pe == e);
+                if got != expected {
+                    return Err(Violation::PanicMisreported {
+                        epoch: e,
+                        expected,
+                        got,
+                    });
+                }
+                st.pcs[t] = if e + 1 < bound.epochs {
+                    Pc::Publish { e: e + 1 }
+                } else {
+                    Pc::Shutdown
+                };
+                Ok(Event::Retire {
+                    epoch: e,
+                    panicked: got,
+                })
+            } else {
+                st.wait_done |= bit;
+                Ok(Event::CallerBlocked)
+            }
+        }
+        Pc::Shutdown => {
+            let sig = st.proto.begin_shutdown();
+            notify(st, sig);
+            st.pcs[t] = Pc::Join;
+            Ok(Event::Shutdown)
+        }
+        Pc::Join => {
+            st.pcs[t] = Pc::Exited;
+            Ok(Event::Join)
+        }
+        Pc::Park => match st.proto.worker_wake(st.seen[t]) {
+            Wake::Exit => {
+                st.pcs[t] = Pc::Exited;
+                Ok(Event::Exit)
+            }
+            Wake::Run(epoch) => {
+                st.seen[t] = epoch;
+                st.pcs[t] = Pc::WorkerClaim;
+                Ok(Event::Wake { epoch })
+            }
+            Wake::Park => {
+                let obs = st.proto.observe();
+                if obs.has_job && obs.next < obs.n_tasks && !obs.shutdown {
+                    // The epoch has unclaimed work, yet this worker is
+                    // about to sleep with no future notification coming
+                    // for it: the publish wakeup was lost.
+                    return Err(Violation::LostWakeup {
+                        thread: t,
+                        unclaimed: obs.n_tasks - obs.next,
+                    });
+                }
+                st.wait_start |= bit;
+                Ok(Event::Park)
+            }
+        },
+        Pc::WorkerClaim => match st.proto.try_claim() {
+            Claim::Task(task) => {
+                let panics = claim_task(st, t, task, bound)?;
+                st.pcs[t] = Pc::WorkerFinish { task, panics };
+                Ok(Event::Claim { task })
+            }
+            Claim::Drained => {
+                st.pcs[t] = Pc::Park;
+                Ok(Event::Drained)
+            }
+        },
+        Pc::WorkerFinish { task, panics } => {
+            let sig = st.proto.finish_task(panics);
+            let last = sig == Signal::Done;
+            notify(st, sig);
+            st.pcs[t] = Pc::WorkerClaim;
+            Ok(Event::Finish {
+                task,
+                panicked: panics,
+                last,
+            })
+        }
+        Pc::Exited => unreachable!("exited threads are not runnable"),
+    }
+}
+
+/// Human description of why a thread is blocked, for deadlock reports.
+fn describe_block(pc: Pc, wait_start: u32, wait_done: u32, t: usize) -> String {
+    let bit = 1u32 << t;
+    if wait_start & bit != 0 {
+        return "parked on `start` (no notification will come)".into();
+    }
+    if wait_done & bit != 0 {
+        return "blocked on `done` (barrier never opens)".into();
+    }
+    match pc {
+        Pc::Join => "in `Drop::join`, waiting for workers that never exit".into(),
+        other => format!("blocked at {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::EpochCore;
+
+    #[test]
+    fn tiny_bound_passes_and_counts_deterministically() {
+        let bound = Bound::new(1, 1, 1);
+        let a = check(EpochCore::new(), &bound, 1_000_000);
+        let b = check(EpochCore::new(), &bound, 1_000_000);
+        assert_eq!(a, b);
+        match a {
+            CheckResult::Pass(stats) => assert!(stats.schedules > 0),
+            other => panic!("expected pass, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn caller_alone_completes_with_zero_workers() {
+        let bound = Bound::new(0, 2, 2);
+        match check(EpochCore::new(), &bound, 1_000_000) {
+            CheckResult::Pass(stats) => {
+                // One thread means exactly one schedule.
+                assert_eq!(stats.schedules, 1);
+                assert!(!stats.workers_participated);
+            }
+            other => panic!("expected pass, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panic_task_is_reported_exactly_once() {
+        let bound = Bound::new(1, 2, 2).with_panic(0, 1);
+        match check(EpochCore::new(), &bound, 10_000_000) {
+            CheckResult::Pass(_) => {}
+            other => panic!("expected pass, got {other:?}"),
+        }
+    }
+}

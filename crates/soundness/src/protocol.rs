@@ -1,0 +1,297 @@
+//! The step-pool synchronization protocol as a pure state machine.
+//!
+//! [`StepPool`] parallelizes one simulation cycle by publishing an *epoch*
+//! of tasks to a fixed set of parked worker threads. All of its
+//! synchronization funnels through a single mutex-guarded state record;
+//! this module extracts every transition of that record into [`EpochCore`]
+//! so that exactly one implementation of the protocol exists:
+//!
+//! * the real pool (`crates/noc/src/pool.rs`) holds an `EpochCore` behind
+//!   its mutex and drives it through the [`PoolProtocol`] trait, mapping
+//!   each returned [`Signal`] onto a condvar `notify_all`;
+//! * the model checker ([`crate::model`]) drives the *same* `EpochCore`
+//!   from modeled threads and exhaustively enumerates the interleavings.
+//!
+//! A bug in the claiming logic therefore cannot hide in a divergence
+//! between "the code" and "the model": they are the same code. Deliberately
+//! broken protocol variants for negative tests live in [`crate::broken`].
+//!
+//! [`StepPool`]: ../../ruche_noc/pool/struct.StepPool.html
+
+/// Which condvar a transition requires the caller to signal, *after* the
+/// transition, while still holding (or having just released) the protocol
+/// mutex.
+///
+/// The protocol has exactly two condvars: `start`, where workers park
+/// between epochs, and `done`, where the publishing caller parks until the
+/// epoch's unfinished count reaches zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Signal {
+    /// No wakeup required.
+    None,
+    /// `notify_all` the workers' `start` condvar.
+    Start,
+    /// `notify_all` the caller's `done` condvar.
+    Done,
+}
+
+/// Outcome of a task-claim attempt ([`PoolProtocol::try_claim`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Claim {
+    /// The caller now owns task `i` of the current epoch and must run it,
+    /// then report [`PoolProtocol::finish_task`].
+    Task(usize),
+    /// No unclaimed task remains in the current epoch (or no epoch is
+    /// published); stop claiming.
+    Drained,
+}
+
+/// What a worker evaluating its park guard must do next
+/// ([`PoolProtocol::worker_wake`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wake {
+    /// Nothing new: wait on the `start` condvar and re-evaluate when
+    /// notified.
+    Park,
+    /// Shutdown was requested: exit the worker loop (the thread
+    /// terminates, unblocking the pool's `Drop` join).
+    Exit,
+    /// A new epoch is published: record it as seen and start claiming
+    /// tasks.
+    Run(u64),
+}
+
+/// A consistent observation of the protocol state, taken under the mutex.
+/// Used by the model checker's invariant assertions; the real pool never
+/// needs it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Observed {
+    /// Epochs published so far.
+    pub epoch: u64,
+    /// Whether an epoch is currently published (its job is installed).
+    pub has_job: bool,
+    /// Task count of the current epoch.
+    pub n_tasks: usize,
+    /// Next unclaimed task index (`>= n_tasks` means drained).
+    pub next: usize,
+    /// Tasks claimed or unclaimed but not yet finished this epoch.
+    pub unfinished: usize,
+    /// Whether shutdown was requested.
+    pub shutdown: bool,
+}
+
+/// The transitions of the step-pool protocol. Every method must be called
+/// with the protocol mutex held; the returned [`Signal`] tells the caller
+/// which condvar to notify.
+///
+/// The trait exists so the model checker can swap in deliberately broken
+/// variants ([`crate::broken`]) and prove that the checker *would* catch
+/// each class of bug; production code always uses [`EpochCore`].
+pub trait PoolProtocol {
+    /// Caller: publishes a new epoch of `n_tasks` tasks. Requires the
+    /// previous epoch to be fully retired ([`Self::end_epoch`]).
+    fn publish(&mut self, n_tasks: usize) -> Signal;
+
+    /// Caller or worker: claims the next unclaimed task of the current
+    /// epoch, if any. A claimed index is owned exclusively by the claimant
+    /// until it reports [`Self::finish_task`].
+    fn try_claim(&mut self) -> Claim;
+
+    /// Caller or worker: reports a claimed task finished; `panicked`
+    /// records whether the task body unwound (the caller re-raises once,
+    /// after the barrier).
+    fn finish_task(&mut self, panicked: bool) -> Signal;
+
+    /// Caller: the epoch-barrier predicate — `true` once every task of the
+    /// current epoch has finished. The caller waits on `done` while this
+    /// is `false`.
+    fn epoch_done(&self) -> bool;
+
+    /// Caller: retires the finished epoch (drops the published job) and
+    /// returns — clearing — whether any of its tasks panicked.
+    fn end_epoch(&mut self) -> bool;
+
+    /// Caller (`Drop`): requests shutdown. Workers observe it via
+    /// [`Self::worker_wake`] and exit.
+    fn begin_shutdown(&mut self) -> Signal;
+
+    /// Worker: evaluates the park guard against the last epoch this worker
+    /// observed (`seen`).
+    fn worker_wake(&self, seen: u64) -> Wake;
+
+    /// A consistent snapshot for invariant checking (model checker only).
+    fn observe(&self) -> Observed;
+}
+
+/// The one true implementation of the step-pool protocol: a plain record
+/// of the epoch counter, the claim cursor, and the barrier count, with no
+/// interior mutability — the owner (the real pool's mutex, or the model
+/// checker) provides exclusion.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct EpochCore {
+    /// Bumped once per published epoch; workers wake when it moves past
+    /// the value they last saw.
+    epoch: u64,
+    /// Whether an epoch is currently published.
+    has_job: bool,
+    /// Task count of the current epoch.
+    n_tasks: usize,
+    /// Next unclaimed task index.
+    next: usize,
+    /// Tasks claimed or unclaimed but not yet finished this epoch.
+    unfinished: usize,
+    /// Set when a task panicked; cleared and reported by
+    /// [`EpochCore::end_epoch`].
+    panicked: bool,
+    /// Set once by [`EpochCore::begin_shutdown`]; never cleared.
+    shutdown: bool,
+}
+
+impl EpochCore {
+    /// A fresh protocol state: nothing published, nothing claimed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the epoch counter — only for building the deliberately
+    /// broken variants in [`crate::broken`].
+    pub(crate) fn set_epoch_for_test(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+}
+
+impl PoolProtocol for EpochCore {
+    fn publish(&mut self, n_tasks: usize) -> Signal {
+        debug_assert!(!self.has_job, "previous epoch not retired");
+        debug_assert_eq!(self.unfinished, 0, "previous epoch still running");
+        self.epoch += 1;
+        self.has_job = true;
+        self.n_tasks = n_tasks;
+        self.next = 0;
+        self.unfinished = n_tasks;
+        Signal::Start
+    }
+
+    fn try_claim(&mut self) -> Claim {
+        if self.next >= self.n_tasks {
+            return Claim::Drained;
+        }
+        let i = self.next;
+        self.next += 1;
+        Claim::Task(i)
+    }
+
+    fn finish_task(&mut self, panicked: bool) -> Signal {
+        if panicked {
+            self.panicked = true;
+        }
+        debug_assert!(self.unfinished > 0, "finish without a claimed task");
+        self.unfinished = self.unfinished.saturating_sub(1);
+        if self.unfinished == 0 {
+            Signal::Done
+        } else {
+            Signal::None
+        }
+    }
+
+    fn epoch_done(&self) -> bool {
+        self.unfinished == 0
+    }
+
+    fn end_epoch(&mut self) -> bool {
+        self.has_job = false;
+        std::mem::take(&mut self.panicked)
+    }
+
+    fn begin_shutdown(&mut self) -> Signal {
+        self.shutdown = true;
+        Signal::Start
+    }
+
+    fn worker_wake(&self, seen: u64) -> Wake {
+        if self.shutdown {
+            Wake::Exit
+        } else if self.epoch == seen {
+            Wake::Park
+        } else {
+            Wake::Run(self.epoch)
+        }
+    }
+
+    fn observe(&self) -> Observed {
+        Observed {
+            epoch: self.epoch,
+            has_job: self.has_job,
+            n_tasks: self.n_tasks,
+            next: self.next,
+            unfinished: self.unfinished,
+            shutdown: self.shutdown,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_epoch_walks_the_happy_path() {
+        let mut p = EpochCore::new();
+        assert_eq!(p.worker_wake(0), Wake::Park);
+        assert_eq!(p.publish(2), Signal::Start);
+        assert_eq!(p.worker_wake(0), Wake::Run(1));
+        assert_eq!(p.try_claim(), Claim::Task(0));
+        assert_eq!(p.try_claim(), Claim::Task(1));
+        assert_eq!(p.try_claim(), Claim::Drained);
+        assert_eq!(p.finish_task(false), Signal::None);
+        assert!(!p.epoch_done());
+        assert_eq!(p.finish_task(false), Signal::Done);
+        assert!(p.epoch_done());
+        assert!(!p.end_epoch());
+        assert_eq!(p.worker_wake(1), Wake::Park);
+    }
+
+    #[test]
+    fn panic_flag_is_latched_and_cleared_per_epoch() {
+        let mut p = EpochCore::new();
+        p.publish(2);
+        p.try_claim();
+        p.try_claim();
+        p.finish_task(true);
+        p.finish_task(false);
+        assert!(p.end_epoch(), "panic reported at the barrier");
+        p.publish(1);
+        p.try_claim();
+        p.finish_task(false);
+        assert!(!p.end_epoch(), "panic flag does not leak across epochs");
+    }
+
+    #[test]
+    fn shutdown_wins_over_a_new_epoch() {
+        let mut p = EpochCore::new();
+        p.publish(1);
+        p.try_claim();
+        p.finish_task(false);
+        p.end_epoch();
+        assert_eq!(p.begin_shutdown(), Signal::Start);
+        // Even a worker that has not seen the last epoch exits.
+        assert_eq!(p.worker_wake(0), Wake::Exit);
+    }
+
+    #[test]
+    fn claims_are_sequential_and_bounded() {
+        let mut p = EpochCore::new();
+        p.publish(3);
+        let claims: Vec<Claim> = (0..5).map(|_| p.try_claim()).collect();
+        assert_eq!(
+            claims,
+            vec![
+                Claim::Task(0),
+                Claim::Task(1),
+                Claim::Task(2),
+                Claim::Drained,
+                Claim::Drained
+            ]
+        );
+    }
+}

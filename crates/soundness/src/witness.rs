@@ -1,0 +1,133 @@
+//! Human-readable rendering of violations and failing-schedule witnesses,
+//! mirroring the counterexample formatting of `ruche-verify`: a violation
+//! is never just an assertion, it is a replayable schedule.
+
+use crate::model::{Event, Failure, Violation, Witness, CALLER};
+use std::fmt;
+
+/// Thread name as printed in witnesses.
+fn thread_name(t: usize) -> String {
+    if t == CALLER {
+        "caller".into()
+    } else {
+        format!("worker-{t}")
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::Publish { epoch, tasks } => {
+                write!(
+                    f,
+                    "publish epoch {} ({tasks} task(s)), notify(start)",
+                    epoch + 1
+                )
+            }
+            Event::Claim { task } => write!(f, "claim task {task}"),
+            Event::Drained => write!(f, "claim: drained"),
+            Event::Finish {
+                task,
+                panicked,
+                last,
+            } => {
+                write!(f, "finish task {task}")?;
+                if *panicked {
+                    write!(f, " (panicked)")?;
+                }
+                if *last {
+                    write!(f, ", barrier opens, notify(done)")?;
+                }
+                Ok(())
+            }
+            Event::CallerBlocked => write!(f, "barrier closed, wait(done)"),
+            Event::Retire { epoch, panicked } => {
+                write!(f, "retire epoch {}", epoch + 1)?;
+                if *panicked {
+                    write!(f, ", re-raise task panic")?;
+                }
+                Ok(())
+            }
+            Event::Shutdown => write!(f, "request shutdown, notify(start)"),
+            Event::Join => write!(f, "join workers (Drop complete)"),
+            Event::Park => write!(f, "guard holds, wait(start)"),
+            Event::Wake { epoch } => write!(f, "wake: run epoch {epoch}"),
+            Event::Exit => write!(f, "observe shutdown, exit"),
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::LostWakeup { thread, unclaimed } => write!(
+                f,
+                "lost wakeup: {} parked while the published epoch still had \
+                 {unclaimed} unclaimed task(s)",
+                thread_name(*thread)
+            ),
+            Violation::DoubleClaim { thread, task } => write!(
+                f,
+                "double claim: {} claimed task {task}, which was already \
+                 claimed this epoch (overlapping &mut parts)",
+                thread_name(*thread)
+            ),
+            Violation::ClaimOutOfRange { thread, task } => write!(
+                f,
+                "claim out of range: {} claimed task {task} outside the \
+                 published epoch (torn or stale epoch state)",
+                thread_name(*thread)
+            ),
+            Violation::LostTask { epoch, task } => write!(
+                f,
+                "lost task: epoch {} retired although task {task} was never \
+                 claimed",
+                epoch + 1
+            ),
+            Violation::PanicMisreported {
+                epoch,
+                expected,
+                got,
+            } => write!(
+                f,
+                "panic misreported at the epoch-{} barrier: expected \
+                 panicked={expected}, observed panicked={got}",
+                epoch + 1
+            ),
+            Violation::Deadlock { blocked } => {
+                write!(f, "deadlock: no thread runnable;")?;
+                for (t, why) in blocked {
+                    write!(f, "\n    {} {}", thread_name(*t), why)?;
+                }
+                Ok(())
+            }
+            Violation::Livelock { steps } => write!(
+                f,
+                "livelock: schedule exceeded the {steps}-step budget without \
+                 terminating (a thread is spinning)"
+            ),
+        }
+    }
+}
+
+impl fmt::Display for Witness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "  failing schedule ({} step(s)):", self.steps.len())?;
+        for (k, (t, ev)) in self.steps.iter().enumerate() {
+            writeln!(f, "  {:>4}. {:<9} {ev}", k + 1, thread_name(*t))?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "VIOLATION: {}", self.violation)?;
+        write!(f, "{}", self.witness)?;
+        write!(
+            f,
+            "  ({} clean state(s) fully explored before this schedule)",
+            self.states_before
+        )
+    }
+}

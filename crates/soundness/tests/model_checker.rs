@@ -1,0 +1,184 @@
+//! Positive and negative tests for the pool-protocol model checker.
+//!
+//! Positive: the real protocol ([`EpochCore`]) passes exhaustively at
+//! every bound of the standard grid, with deterministic schedule counts.
+//! Negative: every deliberately broken variant in [`ruche_soundness::broken`]
+//! is caught with a concrete failing-schedule witness — proving the
+//! checker can actually fail, the same discipline `ruche-verify` applies
+//! to its deadlock checker.
+
+use ruche_soundness::{
+    broken, check, standard_grid, Bound, CheckResult, EpochCore, Violation, DEFAULT_CAP,
+};
+
+/// Convenience: check the real protocol at `bound`.
+fn check_real(bound: &Bound) -> CheckResult {
+    check(EpochCore::new(), bound, DEFAULT_CAP)
+}
+
+#[test]
+fn headline_bound_is_exhaustive_and_deterministic() {
+    // The acceptance bound: 2 workers × 2 epochs × 2 tasks. The explored
+    // schedule count must exceed 1000 and be identical across runs.
+    let bound = Bound::new(2, 2, 2);
+    let a = check_real(&bound);
+    let b = check_real(&bound);
+    assert_eq!(a, b, "exploration must be deterministic");
+    match a {
+        CheckResult::Pass(stats) => {
+            assert!(
+                stats.schedules > 1000,
+                "expected > 1000 schedules, got {}",
+                stats.schedules
+            );
+            assert!(
+                stats.workers_participated,
+                "the bound must exercise caller→worker handoff"
+            );
+        }
+        other => panic!("expected pass, got {other:?}"),
+    }
+}
+
+#[test]
+fn schedule_counts_match_independent_enumeration() {
+    // These exact counts were cross-validated against a non-memoized
+    // brute-force enumeration of complete schedules (every path explored
+    // individually). They pin both the thread-program shape and the
+    // dynamic-programming combination: a change to either shows up here.
+    for (bound, expect) in [
+        (Bound::new(1, 1, 1), 144),
+        (Bound::new(1, 2, 2), 188_616),
+        (Bound::new(2, 1, 2), 1_210_810),
+        (Bound::new(2, 1, 3), 11_113_810),
+    ] {
+        match check_real(&bound) {
+            CheckResult::Pass(stats) => assert_eq!(
+                stats.schedules, expect,
+                "schedule count changed at {bound:?}"
+            ),
+            other => panic!("expected pass at {bound:?}, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn the_whole_standard_grid_passes() {
+    for (label, bound) in standard_grid() {
+        match check_real(&bound) {
+            CheckResult::Pass(stats) => {
+                assert!(stats.schedules > 0, "{label}: no schedules explored");
+                assert!(
+                    stats.workers_participated,
+                    "{label}: workers never claimed a task (vacuous bound)"
+                );
+            }
+            other => panic!("{label}: expected pass, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn panic_reraise_is_verified_in_every_interleaving() {
+    // A panicking task in either epoch: the caller must observe the flag
+    // at that epoch's barrier exactly once, and never at the other's.
+    for (epoch, task) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+        let bound = Bound::new(2, 2, 2).with_panic(epoch, task);
+        match check_real(&bound) {
+            CheckResult::Pass(_) => {}
+            other => panic!("panic at ({epoch},{task}): expected pass, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn zero_workers_collapse_to_a_single_serial_schedule() {
+    match check_real(&Bound::new(0, 3, 3)) {
+        CheckResult::Pass(stats) => {
+            assert_eq!(stats.schedules, 1, "one thread, one schedule");
+            assert!(!stats.workers_participated);
+        }
+        other => panic!("expected pass, got {other:?}"),
+    }
+}
+
+/// Checks a broken variant at the headline bound and returns the failure.
+fn expect_failure<P>(proto: P) -> ruche_soundness::Failure
+where
+    P: ruche_soundness::PoolProtocol + Clone + Eq + std::hash::Hash,
+{
+    match check(proto, &Bound::new(2, 2, 2), DEFAULT_CAP) {
+        CheckResult::Fail(failure) => *failure,
+        other => panic!("broken protocol not caught: {other:?}"),
+    }
+}
+
+#[test]
+fn wakeup_without_epoch_bump_yields_a_lost_wakeup_witness() {
+    let failure = expect_failure(broken::NoEpochBump::default());
+    assert!(
+        matches!(failure.violation, Violation::LostWakeup { .. }),
+        "expected LostWakeup, got {:?}",
+        failure.violation
+    );
+    assert!(
+        !failure.witness.steps.is_empty(),
+        "a violation must come with its schedule"
+    );
+    // The witness replays the publish that failed to wake anyone.
+    let rendered = failure.to_string();
+    assert!(
+        rendered.contains("publish epoch") && rendered.contains("lost wakeup"),
+        "unexpected witness rendering:\n{rendered}"
+    );
+    // Witnesses are deterministic too.
+    assert_eq!(failure, expect_failure(broken::NoEpochBump::default()));
+}
+
+#[test]
+fn silent_shutdown_deadlocks_drop_join() {
+    let failure = expect_failure(broken::SilentShutdown::default());
+    let Violation::Deadlock { blocked } = &failure.violation else {
+        panic!("expected Deadlock, got {:?}", failure.violation);
+    };
+    assert!(
+        blocked
+            .iter()
+            .any(|(t, why)| *t == ruche_soundness::model::CALLER && why.contains("join")),
+        "Drop's join must be among the blocked threads: {blocked:?}"
+    );
+}
+
+#[test]
+fn stuck_claim_cursor_is_a_double_claim() {
+    let failure = expect_failure(broken::StuckCursor::default());
+    assert!(
+        matches!(failure.violation, Violation::DoubleClaim { task: 0, .. }),
+        "expected DoubleClaim of task 0, got {:?}",
+        failure.violation
+    );
+}
+
+#[test]
+fn forgotten_done_notification_hangs_the_barrier() {
+    let failure = expect_failure(broken::ForgottenDoneNotify::default());
+    let Violation::Deadlock { blocked } = &failure.violation else {
+        panic!("expected Deadlock, got {:?}", failure.violation);
+    };
+    assert!(
+        blocked
+            .iter()
+            .any(|(t, why)| *t == ruche_soundness::model::CALLER && why.contains("done")),
+        "the caller must be stuck on the barrier: {blocked:?}"
+    );
+}
+
+#[test]
+fn torn_epoch_read_spins_forever() {
+    let failure = expect_failure(broken::TornEpochRead::default());
+    assert!(
+        matches!(failure.violation, Violation::Livelock { .. }),
+        "expected Livelock, got {:?}",
+        failure.violation
+    );
+}

@@ -12,6 +12,9 @@
 use crate::report::{Channel, RouteId};
 use crate::TraceStep;
 use ruche_noc::prelude::*;
+// lint:allow(hash-order): maps intern channel ids and answer membership /
+// witness lookups; every reported cycle or SCC is reconstructed in graph
+// order or explicitly normalized (min start node) before display.
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Channel-dependency graph under construction.

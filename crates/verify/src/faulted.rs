@@ -23,6 +23,7 @@ use crate::report::{CdgStats, Lint, Report, RouteId, Severity, Witness};
 use crate::{lints, TraceStep};
 use ruche_noc::fault::{FaultModel, RouteTable};
 use ruche_noc::prelude::*;
+// lint:allow(hash-order): verdict cache keyed by config label, lookup-only.
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
 

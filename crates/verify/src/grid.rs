@@ -12,6 +12,8 @@
 //! suite cross-checks that its figure sweeps stay inside this grid.
 
 use ruche_noc::prelude::*;
+// lint:allow(hash-order): membership-only dedup of config labels; nothing
+// iterates the set.
 use std::collections::HashSet;
 
 /// The Figure 6/7/8 full-network set for one array size.

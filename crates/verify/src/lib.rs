@@ -55,6 +55,7 @@ pub use faulted::{verify_faulted, verify_faulted_cached};
 pub use report::{CdgStats, Channel, Finding, Lint, Report, RouteId, Severity, Witness};
 
 use ruche_noc::prelude::*;
+// lint:allow(hash-order): verdict cache keyed by config label, lookup-only.
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
 

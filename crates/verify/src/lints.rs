@@ -29,6 +29,8 @@ use crate::{RouteFn, TraceStep};
 use ruche_noc::prelude::*;
 use ruche_noc::routing::edge_entry;
 use ruche_noc::topology::{fold_logical, DorOrder};
+// lint:allow(hash-order): per-lint overflow counts; the report sorts by
+// lint name (and severity) before rendering, so map order never leaks.
 use std::collections::HashMap;
 
 /// At most this many findings per lint carry a full witness; the rest are

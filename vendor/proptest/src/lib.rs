@@ -37,7 +37,16 @@ pub struct ProptestConfig {
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 64 }
+        // `RUCHE_PROPTEST_CASES` scales every property test at once:
+        // interpreter-speed runs (Miri, TSan-instrumented CI) set it low,
+        // a nightly soak can set it high. An explicit
+        // `with_cases` in the test wins over the environment.
+        let cases = std::env::var("RUCHE_PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.trim().parse::<u32>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(64);
+        ProptestConfig { cases }
     }
 }
 
