@@ -1,16 +1,26 @@
-//! `step_bench`: single-run step-level scaling microbenchmark.
+//! `step_bench`: single-run stepping microbenchmarks.
 //!
-//! Measures `Network::step` throughput (cycles/sec) and speedup as the
-//! step-thread count sweeps {1, 2, 4, 8}, for mesh and Ruche (RF 2) grids
-//! from 16×16 up to 128×128 (the scale regime the sharded engine targets).
+//! Two sections, two artifacts:
+//!
+//! 1. **Thread scaling** (`results/BENCH_step.json`) — measures
+//!    `Network::step` throughput (cycles/sec) and speedup as the
+//!    step-thread count sweeps {1, 2, 4, 8}, for mesh and Ruche (RF 2)
+//!    grids from 16×16 up to 128×128, at the saturating rate the sharded
+//!    engine targets (0.2) plus low-injection points (0.01–0.05) where
+//!    per-cycle overhead dominates.
+//! 2. **Step-mode comparison** (`results/BENCH_step_mode.json`) — measures
+//!    cycle-accurate vs event-driven vs auto stepping on sparse workloads
+//!    (bursty and steady trickle), where the event wheel fast-forwards the
+//!    quiescent spans between bursts. `docs/EVENTS.md` explains how to
+//!    read it.
+//!
 //! Traffic is pre-generated from a fixed seed, and the per-run **digest**
 //! (injected, ejected, final cycle, total link traversals) is asserted
-//! identical across every thread count before anything is written — the
-//! timing numbers vary with the machine, the simulation results never do.
+//! identical across every thread count and every step mode before anything
+//! is written — the timing numbers vary with the machine, the simulation
+//! results never do.
 //!
-//! Results land in `results/BENCH_step.json`; `docs/PARALLELISM.md`
-//! explains how to read them. Pass `--quick` to drop the largest grid and
-//! shorten runs.
+//! Pass `--quick` to drop the largest grid and shorten runs.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -25,18 +35,42 @@ use std::time::Instant;
 
 /// Swept step-thread counts.
 const THREADS: [usize; 4] = [1, 2, 4, 8];
-/// Injection probability per tile per loaded cycle.
-const RATE: f64 = 0.2;
 /// Traffic seed (fixed: the digest must be reproducible).
 const SEED: u64 = 17;
+/// Step modes compared by the mode section.
+const MODES: [StepMode; 3] = [
+    StepMode::CycleAccurate,
+    StepMode::EventDriven,
+    StepMode::Auto,
+];
 
-/// Simulation results that must not depend on the thread count.
+/// Simulation results that must not depend on the thread count or the
+/// step mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Digest {
     injected: u64,
     ejected: u64,
     final_cycle: u64,
     traversals: u64,
+}
+
+impl Digest {
+    fn of(net: &Network) -> Self {
+        let snap = net.snapshot();
+        Digest {
+            injected: snap.injected,
+            ejected: snap.ejected,
+            final_cycle: snap.cycle,
+            traversals: net.link_loads().iter().map(|(_, _, n)| n).sum(),
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"injected\": {}, \"ejected\": {}, \"final_cycle\": {}, \"traversals\": {}}}",
+            self.injected, self.ejected, self.final_cycle, self.traversals
+        )
+    }
 }
 
 /// One timed run: steps `cfg` under the pre-generated `traffic` for
@@ -65,19 +99,48 @@ fn timed_run(
     }
     let secs = start.elapsed().as_secs_f64();
     let snap = net.snapshot();
-    let digest = Digest {
-        injected: snap.injected,
-        ejected: snap.ejected,
-        final_cycle: snap.cycle,
-        traversals: net.link_loads().iter().map(|(_, _, n)| n).sum(),
-    };
-    (digest, snap.cycle as f64 / secs.max(1e-9))
+    (Digest::of(&net), snap.cycle as f64 / secs.max(1e-9))
 }
 
-/// Pre-generates `cycles` batches of uniform-random single-flit traffic so
-/// the timed region contains only `enqueue` + `step`. Load stops at 60% of
-/// the run so the tail measures drain behaviour.
-fn gen_traffic(dims: Dims, cycles: u64) -> Vec<Vec<(Coord, Flit)>> {
+/// One timed mode run: drives `cfg` in `mode` through the sparse
+/// `schedule` of (cycle, source, flit) injections, fast-forwarding to the
+/// next injection whenever the network quiesces (a no-op in cycle mode),
+/// until at least `horizon` cycles have elapsed and the network drained.
+fn timed_mode_run(
+    cfg: &NetworkConfig,
+    schedule: &[(u64, Coord, Flit)],
+    horizon: u64,
+    mode: StepMode,
+) -> (Digest, f64) {
+    let mut net = Network::new(cfg.clone().with_step_mode(mode)).expect("valid bench config");
+    let start = Instant::now();
+    let mut next = 0usize;
+    let mut iters = 0u64;
+    while net.cycle() < horizon || !net.is_quiescent() {
+        while schedule.get(next).is_some_and(|&(c, ..)| c == net.cycle()) {
+            let (_, src, f) = schedule[next];
+            net.enqueue(net.tile_endpoint(src), f);
+            next += 1;
+        }
+        assert!(
+            schedule.get(next).is_none_or(|&(c, ..)| c > net.cycle()),
+            "fast-forward skipped past a scheduled injection"
+        );
+        net.step();
+        let wake = schedule.get(next).map_or(horizon, |&(c, ..)| c);
+        net.fast_forward(wake.min(horizon));
+        iters += 1;
+        assert!(iters < 2 * horizon + 200_000, "bench traffic deadlocked");
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let cycle = net.cycle();
+    (Digest::of(&net), cycle as f64 / secs.max(1e-9))
+}
+
+/// Pre-generates `cycles` batches of uniform-random single-flit traffic at
+/// per-tile `rate` so the timed region contains only `enqueue` + `step`.
+/// Load stops at 60% of the run so the tail measures drain behaviour.
+fn gen_traffic(dims: Dims, cycles: u64, rate: f64) -> Vec<Vec<(Coord, Flit)>> {
     let mut rng = SmallRng::seed_from_u64(SEED);
     let loaded = cycles * 3 / 5;
     let mut id = 0u64;
@@ -88,7 +151,7 @@ fn gen_traffic(dims: Dims, cycles: u64) -> Vec<Vec<(Coord, Flit)>> {
                 return batch;
             }
             for c in dims.iter() {
-                if rng.gen_bool(RATE) {
+                if rng.gen_bool(rate) {
                     let d = Coord::new(rng.gen_range(0..dims.cols), rng.gen_range(0..dims.rows));
                     batch.push((c, Flit::single(c, Dest::tile(d), id, cycle)));
                     id += 1;
@@ -99,11 +162,51 @@ fn gen_traffic(dims: Dims, cycles: u64) -> Vec<Vec<(Coord, Flit)>> {
         .collect()
 }
 
-/// The benched (dims, loaded-cycle-count) grid sizes.
-fn grids(quick: bool) -> Vec<(Dims, u64)> {
-    let mut g = vec![(Dims::new(16, 16), 600), (Dims::new(64, 64), 120)];
+/// Pre-generates a bursty sparse schedule: `bursts` bursts of `size`
+/// uniform-random single-flit packets, one burst every `period` cycles.
+/// Returns the schedule and the run horizon (`bursts * period`).
+fn gen_bursty(dims: Dims, bursts: u64, period: u64, size: usize) -> (Vec<(u64, Coord, Flit)>, u64) {
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    let mut schedule = Vec::new();
+    let mut id = 0u64;
+    for b in 0..bursts {
+        let cycle = b * period;
+        for _ in 0..size {
+            let s = Coord::new(rng.gen_range(0..dims.cols), rng.gen_range(0..dims.rows));
+            let d = Coord::new(rng.gen_range(0..dims.cols), rng.gen_range(0..dims.rows));
+            schedule.push((cycle, s, Flit::single(s, Dest::tile(d), id, cycle)));
+            id += 1;
+        }
+    }
+    (schedule, bursts * period)
+}
+
+/// Flattens steady per-tile-rate traffic into a sparse schedule for the
+/// mode driver. The horizon is the loaded-cycle count; the drain runs past
+/// it identically in every mode.
+fn gen_steady(dims: Dims, cycles: u64, rate: f64) -> (Vec<(u64, Coord, Flit)>, u64) {
+    let mut schedule = Vec::new();
+    for (cycle, batch) in gen_traffic(dims, cycles, rate).iter().enumerate() {
+        for &(c, f) in batch {
+            schedule.push((cycle as u64, c, f));
+        }
+    }
+    (schedule, cycles)
+}
+
+/// The benched (dims, loaded-cycle-count, per-tile rate) grid. The 0.2
+/// points exercise the saturated regime the sharded engine targets; the
+/// low-injection points (0.01–0.05) show scaling where per-cycle overhead,
+/// not router work, dominates.
+fn grids(quick: bool) -> Vec<(Dims, u64, f64)> {
+    let mut g = vec![
+        (Dims::new(16, 16), 600, 0.2),
+        (Dims::new(16, 16), 600, 0.05),
+        (Dims::new(64, 64), 120, 0.2),
+        (Dims::new(64, 64), 120, 0.01),
+    ];
     if !quick {
-        g.push((Dims::new(128, 128), 40));
+        g.push((Dims::new(128, 128), 40, 0.2));
     }
     g
 }
@@ -116,33 +219,79 @@ fn topologies(dims: Dims) -> Vec<NetworkConfig> {
     ]
 }
 
-fn main() {
-    let opts = Opts::from_env();
-    banner(
-        "step_bench",
-        "Network::step scaling vs step-thread count (sharded engine)",
-    );
+/// One workload row of the step-mode comparison.
+struct ModeRow {
+    cfg: NetworkConfig,
+    dims: Dims,
+    workload: &'static str,
+    schedule: Vec<(u64, Coord, Flit)>,
+    horizon: u64,
+}
+
+/// The step-mode comparison workloads: bursty sparse traffic (quiescent
+/// between bursts — the regime the event wheel exists for) and a steady
+/// trickle (never quiescent — the regime where event mode must merely not
+/// lose).
+fn mode_rows(quick: bool) -> Vec<ModeRow> {
+    let big = Dims::new(64, 64);
+    let small = Dims::new(16, 16);
+    let bursts = if quick { 16 } else { 32 };
+    let mut rows = Vec::new();
+    let (schedule, horizon) = gen_bursty(big, bursts, 65_536, 16);
+    rows.push(ModeRow {
+        cfg: NetworkConfig::mesh(big),
+        dims: big,
+        workload: "bursty",
+        schedule,
+        horizon,
+    });
+    let (schedule, horizon) = gen_steady(small, 600, 0.02);
+    rows.push(ModeRow {
+        cfg: NetworkConfig::mesh(small),
+        dims: small,
+        workload: "steady",
+        schedule,
+        horizon,
+    });
+    if !quick {
+        let (schedule, horizon) = gen_bursty(big, bursts, 65_536, 16);
+        rows.push(ModeRow {
+            cfg: NetworkConfig::full_ruche(big, 2, CrossbarScheme::Depopulated),
+            dims: big,
+            workload: "bursty",
+            schedule,
+            horizon,
+        });
+    }
+    rows
+}
+
+/// Runs the thread-scaling section and writes `BENCH_step.json`.
+fn bench_threads(opts: &Opts) {
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"version\": \"{MODEL_VERSION}\",");
     let _ = writeln!(json, "  \"quick\": {},", opts.quick);
-    let _ = writeln!(json, "  \"rate\": {RATE},");
     let _ = writeln!(json, "  \"seed\": {SEED},");
     let _ = writeln!(json, "  \"runs\": [");
     let mut first = true;
-    for (dims, cycles) in grids(opts.quick) {
-        let traffic = gen_traffic(dims, cycles);
+    for (dims, cycles, rate) in grids(opts.quick) {
+        let traffic = gen_traffic(dims, cycles, rate);
         for cfg in topologies(dims) {
-            println!("-- {} {} ({cycles} loaded cycles)", dims, cfg.label());
+            println!(
+                "-- {} {} ({cycles} loaded cycles, rate {rate})",
+                dims,
+                cfg.label()
+            );
             let mut baseline: Option<(Digest, f64)> = None;
             let mut rows = Vec::new();
             for &t in &THREADS {
-                let (digest, rate) = timed_run(&cfg, &traffic, t);
+                let (digest, cps) = timed_run(&cfg, &traffic, t);
                 let shards = Network::new(cfg.clone().with_step_threads(t))
                     .expect("valid bench config")
                     .step_threads();
                 match &baseline {
-                    None => baseline = Some((digest, rate)),
+                    None => baseline = Some((digest, cps)),
                     Some((d0, _)) => assert_eq!(
                         *d0,
                         digest,
@@ -151,13 +300,13 @@ fn main() {
                         cfg.label()
                     ),
                 }
-                let speedup = rate / baseline.expect("set above").1;
+                let speedup = cps / baseline.expect("set above").1;
                 println!(
                     "   threads={t} (shards={shards}): {} cycles/sec, speedup {}",
-                    fmt_f(rate, 0),
+                    fmt_f(cps, 0),
                     fmt_f(speedup, 2),
                 );
-                rows.push((t, shards, rate, speedup));
+                rows.push((t, shards, cps, speedup));
             }
             let (digest, _) = baseline.expect("at least one thread count");
             if !first {
@@ -168,19 +317,15 @@ fn main() {
             let _ = writeln!(json, "      \"dims\": \"{dims}\",");
             let _ = writeln!(json, "      \"topology\": \"{}\",", cfg.label());
             let _ = writeln!(json, "      \"loaded_cycles\": {cycles},");
-            let _ = writeln!(
-                json,
-                "      \"digest\": {{\"injected\": {}, \"ejected\": {}, \
-                 \"final_cycle\": {}, \"traversals\": {}}},",
-                digest.injected, digest.ejected, digest.final_cycle, digest.traversals
-            );
+            let _ = writeln!(json, "      \"rate\": {rate},");
+            let _ = writeln!(json, "      \"digest\": {},", digest.json());
             let _ = writeln!(json, "      \"threads\": [");
-            for (i, (t, shards, rate, speedup)) in rows.iter().enumerate() {
+            for (i, (t, shards, cps, speedup)) in rows.iter().enumerate() {
                 let _ = writeln!(
                     json,
                     "        {{\"threads\": {t}, \"shards\": {shards}, \
                      \"cycles_per_sec\": {}, \"speedup\": {}}}{}",
-                    fmt_f(*rate, 1),
+                    fmt_f(*cps, 1),
                     fmt_f(*speedup, 3),
                     if i + 1 < rows.len() { "," } else { "" }
                 );
@@ -192,4 +337,94 @@ fn main() {
     let _ = writeln!(json, "\n  ]");
     let _ = writeln!(json, "}}");
     write_artifact("BENCH_step.json", &json);
+}
+
+/// Runs the step-mode comparison section and writes
+/// `BENCH_step_mode.json`.
+fn bench_modes(opts: &Opts) {
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"version\": \"{MODEL_VERSION}\",");
+    let _ = writeln!(json, "  \"quick\": {},", opts.quick);
+    let _ = writeln!(json, "  \"seed\": {SEED},");
+    let _ = writeln!(json, "  \"runs\": [");
+    let mut first = true;
+    for row in mode_rows(opts.quick) {
+        // Aggregate packets per cycle over the whole horizon — the honest
+        // load figure for a workload with quiescent gaps.
+        let rate = row.schedule.len() as f64 / row.horizon as f64;
+        println!(
+            "-- {} {} {} ({} packets over {} cycles, rate {})",
+            row.dims,
+            row.cfg.label(),
+            row.workload,
+            row.schedule.len(),
+            row.horizon,
+            fmt_f(rate, 5),
+        );
+        let mut baseline: Option<(Digest, f64)> = None;
+        let mut results = Vec::new();
+        for mode in MODES {
+            let (digest, cps) = timed_mode_run(&row.cfg, &row.schedule, row.horizon, mode);
+            match &baseline {
+                None => baseline = Some((digest, cps)),
+                Some((d0, _)) => assert_eq!(
+                    *d0,
+                    digest,
+                    "{} {} {}: digest diverged in {} mode",
+                    row.dims,
+                    row.cfg.label(),
+                    row.workload,
+                    mode.name()
+                ),
+            }
+            let speedup = cps / baseline.expect("set above").1;
+            println!(
+                "   mode={}: {} cycles/sec, speedup {}",
+                mode.name(),
+                fmt_f(cps, 0),
+                fmt_f(speedup, 2),
+            );
+            results.push((mode, cps, speedup));
+        }
+        let (digest, _) = baseline.expect("at least one mode");
+        if !first {
+            let _ = writeln!(json, ",");
+        }
+        first = false;
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"dims\": \"{}\",", row.dims);
+        let _ = writeln!(json, "      \"topology\": \"{}\",", row.cfg.label());
+        let _ = writeln!(json, "      \"workload\": \"{}\",", row.workload);
+        let _ = writeln!(json, "      \"packets\": {},", row.schedule.len());
+        let _ = writeln!(json, "      \"horizon\": {},", row.horizon);
+        let _ = writeln!(json, "      \"injection_rate\": {},", fmt_f(rate, 5));
+        let _ = writeln!(json, "      \"digest\": {},", digest.json());
+        let _ = writeln!(json, "      \"modes\": [");
+        for (i, (mode, cps, speedup)) in results.iter().enumerate() {
+            let _ = writeln!(
+                json,
+                "        {{\"mode\": \"{}\", \"cycles_per_sec\": {}, \"speedup\": {}}}{}",
+                mode.name(),
+                fmt_f(*cps, 1),
+                fmt_f(*speedup, 3),
+                if i + 1 < results.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(json, "      ]");
+        let _ = write!(json, "    }}");
+    }
+    let _ = writeln!(json, "\n  ]");
+    let _ = writeln!(json, "}}");
+    write_artifact("BENCH_step_mode.json", &json);
+}
+
+fn main() {
+    let opts = Opts::from_env();
+    banner(
+        "step_bench",
+        "Network::step scaling (step threads) and step-mode comparison",
+    );
+    bench_threads(&opts);
+    bench_modes(&opts);
 }

@@ -1,5 +1,7 @@
 //! Harness options.
 
+use ruche_noc::topology::StepMode;
+
 /// Options shared by all figure harnesses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Opts {
@@ -32,6 +34,12 @@ pub struct Opts {
     /// each `Network::step` is sharded instead. Results are byte-identical
     /// either way.
     pub step_threads: usize,
+    /// Clock-advance mode applied to every simulated network
+    /// (`--step-mode cycle|event|auto`, `--step-mode=..`, or
+    /// `RUCHE_STEP_MODE=..`; `None` lets each network resolve the
+    /// environment itself). Results are byte-identical in every mode — the
+    /// event modes only fast-forward provably-empty spans.
+    pub step_mode: Option<StepMode>,
 }
 
 /// The machine's available parallelism (1 if it can't be queried).
@@ -56,6 +64,7 @@ impl Opts {
         };
         let mut threads = None;
         let mut step_threads = None;
+        let mut step_mode = None;
         let mut it = args.iter();
         while let Some(a) = it.next() {
             if a == "--threads" {
@@ -66,6 +75,10 @@ impl Opts {
                 step_threads = it.next().and_then(|v| v.parse().ok());
             } else if let Some(v) = a.strip_prefix("--step-threads=") {
                 step_threads = v.parse().ok();
+            } else if a == "--step-mode" {
+                step_mode = it.next().and_then(|v| v.parse().ok());
+            } else if let Some(v) = a.strip_prefix("--step-mode=") {
+                step_mode = v.parse().ok();
             }
         }
         let threads = threads
@@ -75,6 +88,7 @@ impl Opts {
         let step_threads = step_threads
             .or_else(|| env("RUCHE_STEP_THREADS").and_then(|v| v.parse().ok()))
             .unwrap_or(0);
+        let step_mode = step_mode.or_else(|| env("RUCHE_STEP_MODE").and_then(|v| v.parse().ok()));
         Opts {
             quick: flag("--quick", "RUCHE_QUICK"),
             threads,
@@ -84,6 +98,7 @@ impl Opts {
             telemetry: flag("--telemetry", "RUCHE_TELEMETRY"),
             degradation: flag("--degradation", "RUCHE_DEGRADATION"),
             step_threads,
+            step_mode,
         }
     }
 
@@ -98,6 +113,7 @@ impl Opts {
             telemetry: false,
             degradation: false,
             step_threads: 0,
+            step_mode: None,
         }
     }
 
@@ -124,6 +140,12 @@ impl Opts {
     /// Overrides the step-level shard thread count (0 = serial steps).
     pub fn with_step_threads(mut self, step_threads: usize) -> Self {
         self.step_threads = step_threads;
+        self
+    }
+
+    /// Overrides the clock-advance mode applied to simulated networks.
+    pub fn with_step_mode(mut self, mode: StepMode) -> Self {
+        self.step_mode = Some(mode);
         self
     }
 }
@@ -217,6 +239,34 @@ mod tests {
             8
         );
         assert_eq!(Opts::full().with_step_threads(4).step_threads, 4);
+    }
+
+    #[test]
+    fn parses_step_mode_flag_env_and_default() {
+        assert_eq!(Opts::parse(&strs(&["bench"]), NO_ENV).step_mode, None);
+        let o = Opts::parse(&strs(&["bench", "--step-mode", "event"]), NO_ENV);
+        assert_eq!(o.step_mode, Some(StepMode::EventDriven));
+        let o = Opts::parse(&strs(&["bench", "--step-mode=auto"]), NO_ENV);
+        assert_eq!(o.step_mode, Some(StepMode::Auto));
+        let env = |k: &str| (k == "RUCHE_STEP_MODE").then(|| "cycle".to_string());
+        assert_eq!(
+            Opts::parse(&strs(&["bench"]), env).step_mode,
+            Some(StepMode::CycleAccurate)
+        );
+        // An explicit flag beats the environment.
+        assert_eq!(
+            Opts::parse(&strs(&["bench", "--step-mode=event"]), env).step_mode,
+            Some(StepMode::EventDriven)
+        );
+        // Garbage spellings fall back to unset rather than aborting.
+        assert_eq!(
+            Opts::parse(&strs(&["bench", "--step-mode", "wheel"]), NO_ENV).step_mode,
+            None
+        );
+        assert_eq!(
+            Opts::full().with_step_mode(StepMode::Auto).step_mode,
+            Some(StepMode::Auto)
+        );
     }
 
     #[test]

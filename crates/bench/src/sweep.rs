@@ -238,6 +238,7 @@ impl SweepCache {
 pub struct SweepRunner {
     threads: usize,
     step_threads: usize,
+    step_mode: Option<StepMode>,
     cache: SweepCache,
     cache_enabled: bool,
     /// Jobs served from the cache across this runner's lifetime.
@@ -262,6 +263,7 @@ impl SweepRunner {
         SweepRunner {
             threads,
             step_threads: opts.step_threads,
+            step_mode: opts.step_mode,
             cache: if opts.no_cache {
                 SweepCache::default()
             } else {
@@ -278,6 +280,7 @@ impl SweepRunner {
         SweepRunner {
             threads,
             step_threads: 0,
+            step_mode: None,
             cache: SweepCache::default(),
             cache_enabled: false,
             cache_hits: 0,
@@ -293,6 +296,14 @@ impl SweepRunner {
         self
     }
 
+    /// Applies a clock-advance mode to every simulated job (tests;
+    /// [`SweepRunner::new`] derives this from its opts). Results — and
+    /// hence cache entries — are byte-identical in every mode.
+    pub fn with_step_mode(mut self, mode: StepMode) -> Self {
+        self.step_mode = Some(mode);
+        self
+    }
+
     /// The worker-pool width this runner uses.
     pub fn threads(&self) -> usize {
         self.threads
@@ -302,6 +313,12 @@ impl SweepRunner {
     /// (0 = serial steps).
     pub fn step_threads(&self) -> usize {
         self.step_threads
+    }
+
+    /// The clock-advance mode applied to simulated jobs (`None` lets each
+    /// network resolve `RUCHE_STEP_MODE` itself).
+    pub fn step_mode(&self) -> Option<StepMode> {
+        self.step_mode
     }
 
     /// Runs every job, in parallel, returning `results[i]` for `jobs[i]`.
@@ -327,7 +344,13 @@ impl SweepRunner {
         }
 
         if !misses.is_empty() {
-            let computed = run_pool(jobs, &misses, self.threads, self.step_threads);
+            let computed = run_pool(
+                jobs,
+                &misses,
+                self.threads,
+                self.step_threads,
+                self.step_mode,
+            );
             for (&i, res) in misses.iter().zip(computed) {
                 if self.cache_enabled && !jobs[i].per_tile {
                     self.cache.insert(jobs[i].key(), scrub_per_tile(&res));
@@ -357,14 +380,16 @@ fn scrub_per_tile(res: &TbResult) -> TbResult {
 /// Runs `jobs[misses[..]]` on a scoped worker pool; returns results in
 /// `misses` order. Workers pull the next job index from a shared atomic
 /// cursor, so scheduling is dynamic but the output order is fixed. A
-/// non-zero `step_threads` shards each simulation's `Network::step` (the
-/// sharded engine is byte-identical to the serial one, so this only
-/// changes where the parallelism lives).
+/// non-zero `step_threads` shards each simulation's `Network::step`, and a
+/// set `step_mode` selects the clock-advance mode (both engines are
+/// byte-identical to the reference, so these only change where wall-clock
+/// time goes).
 fn run_pool(
     jobs: &[SweepJob],
     misses: &[usize],
     threads: usize,
     step_threads: usize,
+    step_mode: Option<StepMode>,
 ) -> Vec<TbResult> {
     let workers = threads.min(misses.len()).max(1);
     let slots: Vec<Mutex<Option<TbResult>>> = misses.iter().map(|_| Mutex::new(None)).collect();
@@ -375,11 +400,13 @@ fn run_pool(
                 let k = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(&i) = misses.get(k) else { break };
                 let job = &jobs[i];
-                let cfg = if step_threads > 0 {
-                    job.cfg.clone().with_step_threads(step_threads)
-                } else {
-                    job.cfg.clone()
-                };
+                let mut cfg = job.cfg.clone();
+                if step_threads > 0 {
+                    cfg = cfg.with_step_threads(step_threads);
+                }
+                if let Some(mode) = step_mode {
+                    cfg = cfg.with_step_mode(mode);
+                }
                 let res = ruche_traffic::run(&cfg, &job.tb)
                     .unwrap_or_else(|e| panic!("sweep job {i} cannot run: {e}"));
                 *slots[k].lock().expect("slot lock") = Some(res);
@@ -474,6 +501,40 @@ mod tests {
         assert!(
             cache.get(&b.key()).is_some(),
             "cache hits must be thread-count-independent"
+        );
+    }
+
+    #[test]
+    fn step_mode_does_not_change_the_cache_key() {
+        let dims = Dims::new(8, 8);
+        let tb = quick_tb(0.1);
+        let cycle = SweepJob::new(NetworkConfig::mesh(dims), tb.clone());
+        let event = SweepJob::new(
+            NetworkConfig::mesh(dims).with_step_mode(StepMode::EventDriven),
+            tb.clone(),
+        );
+        let auto = SweepJob::new(NetworkConfig::mesh(dims).with_step_mode(StepMode::Auto), tb);
+        assert_eq!(
+            cycle.key(),
+            event.key(),
+            "event-driven and cycle-accurate runs are byte-identical, so \
+             they must share a cache entry"
+        );
+        assert_eq!(cycle.key(), auto.key());
+        // And therefore a result computed in one mode is a hit for a run
+        // in any other mode.
+        let mut cache = SweepCache::default();
+        let tb4 = quick_tb(0.05);
+        let a = SweepJob::new(NetworkConfig::mesh(Dims::new(4, 4)), tb4.clone());
+        let b = SweepJob::new(
+            NetworkConfig::mesh(Dims::new(4, 4)).with_step_mode(StepMode::EventDriven),
+            tb4,
+        );
+        let res = ruche_traffic::run(&a.cfg, &a.tb).unwrap();
+        cache.insert(a.key(), res);
+        assert!(
+            cache.get(&b.key()).is_some(),
+            "cache hits must be step-mode-independent"
         );
     }
 

@@ -1,16 +1,18 @@
 //! The parallel sweep engine is deterministic: a figure sweep renders
-//! byte-identical CSV rows whether it runs on one worker or many.
+//! byte-identical CSV rows whether it runs on one worker or many, and
+//! whether the clock advances cycle by cycle or through the event wheel.
 
 use ruche_bench::figures::fig6;
 use ruche_bench::sweep::{self, SweepRunner};
 use ruche_noc::geometry::Dims;
+use ruche_noc::topology::StepMode;
 use ruche_stats::fmt_f;
 use ruche_traffic::{Pattern, Testbench};
 
 /// Renders the Figure 6 quick curve rows for one pattern at the given
-/// worker-pool width and step-level shard thread count, exactly as
-/// `figures::fig6` formats them.
-fn fig6_quick_rows_sharded(threads: usize, step_threads: usize) -> String {
+/// worker-pool width, step-level shard thread count, and step mode,
+/// exactly as `figures::fig6` formats them.
+fn fig6_quick_rows_mode(threads: usize, step_threads: usize, mode: Option<StepMode>) -> String {
     let dims = Dims::new(8, 8);
     let rates = [0.02, 0.10, 0.20, 0.30, 0.45];
     let pattern = Pattern::UniformRandom;
@@ -23,9 +25,11 @@ fn fig6_quick_rows_sharded(threads: usize, step_threads: usize) -> String {
             .expect("smoke testbench is valid");
         jobs.extend(sweep::curve_jobs(&cfg, &proto, &rates));
     }
-    let results = SweepRunner::uncached(threads)
-        .with_step_threads(step_threads)
-        .run_all(&jobs);
+    let mut runner = SweepRunner::uncached(threads).with_step_threads(step_threads);
+    if let Some(mode) = mode {
+        runner = runner.with_step_mode(mode);
+    }
+    let results = runner.run_all(&jobs);
     let mut out = String::new();
     for (job, res) in jobs.iter().zip(&results) {
         let pt = sweep::curve_point(res);
@@ -39,6 +43,11 @@ fn fig6_quick_rows_sharded(threads: usize, step_threads: usize) -> String {
         ));
     }
     out
+}
+
+/// Renders the Figure 6 quick curve rows without a step-mode override.
+fn fig6_quick_rows_sharded(threads: usize, step_threads: usize) -> String {
+    fig6_quick_rows_mode(threads, step_threads, None)
 }
 
 #[test]
@@ -60,4 +69,12 @@ fn step_level_parallelism_is_byte_identical_to_run_level() {
         step_level, run_level,
         "CSV rows must not depend on where the parallelism lives"
     );
+}
+
+#[test]
+fn event_driven_sweep_is_byte_identical_to_cycle_accurate() {
+    let cycle = fig6_quick_rows_mode(2, 0, Some(StepMode::CycleAccurate));
+    let event = fig6_quick_rows_mode(2, 0, Some(StepMode::EventDriven));
+    assert!(!cycle.is_empty());
+    assert_eq!(cycle, event, "CSV rows must not depend on the step mode");
 }

@@ -1,17 +1,20 @@
 //! The full `repro --quick` artifact set must be byte-identical whether
-//! every network steps serially or across four shard threads — the
-//! end-to-end form of the determinism guarantee in `docs/PARALLELISM.md`.
+//! every network steps serially or across four shard threads, and whether
+//! the clock advances cycle by cycle or through the event wheel — the
+//! end-to-end form of the determinism guarantees in `docs/PARALLELISM.md`
+//! and `docs/EVENTS.md`.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
-/// Runs the real `repro` binary with the given `RUCHE_STEP_THREADS`,
-/// redirecting artifacts into `dir` and bypassing the run cache so both
-/// engines actually simulate every point.
-fn run_repro(step_threads: &str, dir: &Path) {
+/// Runs the real `repro` binary with the given `RUCHE_STEP_THREADS` and
+/// extra CLI arguments, redirecting artifacts into `dir` and bypassing the
+/// run cache so both engines actually simulate every point.
+fn run_repro_args(step_threads: &str, args: &[&str], dir: &Path) {
     let status = Command::new(env!("CARGO_BIN_EXE_repro"))
         .args(["--quick", "--telemetry"])
+        .args(args)
         .env("RUCHE_STEP_THREADS", step_threads)
         .env("RUCHE_RESULTS_DIR", dir)
         .env("RUCHE_NO_CACHE", "1")
@@ -21,8 +24,13 @@ fn run_repro(step_threads: &str, dir: &Path) {
         .expect("repro binary runs");
     assert!(
         status.success(),
-        "repro --quick failed with RUCHE_STEP_THREADS={step_threads}"
+        "repro --quick {args:?} failed with RUCHE_STEP_THREADS={step_threads}"
     );
+}
+
+/// Runs the real `repro` binary with the given `RUCHE_STEP_THREADS`.
+fn run_repro(step_threads: &str, dir: &Path) {
+    run_repro_args(step_threads, &[], dir);
 }
 
 /// Collects every artifact in `dir` keyed by file name. Cache files
@@ -79,6 +87,37 @@ fn quick_repro_artifacts_are_byte_identical_across_step_threads() {
             Some(bytes),
             sharded.get(name),
             "artifact {name} differs between step_threads=1 and step_threads=4"
+        );
+    }
+
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+#[ignore = "runs two full quick repro sweeps (~minutes); exercised by the dedicated CI step"]
+fn quick_repro_artifacts_are_byte_identical_across_step_modes() {
+    let base = std::env::temp_dir().join(format!("ruche_mode_artifacts_{}", std::process::id()));
+    let cycle_dir: PathBuf = base.join("cycle");
+    let event_dir: PathBuf = base.join("event");
+    run_repro_args("1", &["--step-mode", "cycle"], &cycle_dir);
+    run_repro_args("1", &["--step-mode", "event"], &event_dir);
+
+    let cycle = artifacts(&cycle_dir);
+    let event = artifacts(&event_dir);
+    assert!(
+        cycle.contains_key("fig6_synthetic_curves.csv"),
+        "missing fig6 artifact"
+    );
+    assert_eq!(
+        cycle.keys().collect::<Vec<_>>(),
+        event.keys().collect::<Vec<_>>(),
+        "the two step modes must write the same artifact set"
+    );
+    for (name, bytes) in &cycle {
+        assert_eq!(
+            Some(bytes),
+            event.get(name),
+            "artifact {name} differs between --step-mode cycle and --step-mode event"
         );
     }
 

@@ -76,6 +76,7 @@ pub mod prelude {
     pub use crate::sim::{EndpointId, EndpointKind, LinkLoads, NetSnapshot, NetStats, Network};
     pub use crate::telemetry::{BlockCause, LinkVcStats, NetTelemetry};
     pub use crate::topology::{
-        CrossbarScheme, DorOrder, NetworkConfig, NetworkConfigBuilder, SurveyTopology, TopologyKind,
+        CrossbarScheme, DorOrder, NetworkConfig, NetworkConfigBuilder, StepMode, SurveyTopology,
+        TopologyKind,
     };
 }

@@ -24,7 +24,7 @@ use crate::router::Router;
 use crate::routing::{compute_route, Dest};
 use crate::shard::{Mail, ShardMap, ShardState, Transfer, MAX_SHARDS};
 use crate::telemetry::{BlockCause, NetTelemetry};
-use crate::topology::{ConfigError, NetworkConfig};
+use crate::topology::{ConfigError, NetworkConfig, StepMode};
 use std::collections::VecDeque;
 use std::sync::OnceLock;
 
@@ -264,6 +264,11 @@ pub struct Network {
     /// VC-router wavefront switch allocators, one per node. Empty for
     /// wormhole networks.
     sw_alloc: Vec<Wavefront>,
+    /// Resolved clock-advance mode (config knob, else `RUCHE_STEP_MODE`,
+    /// else cycle-accurate). Only consulted by span-advancing drivers
+    /// ([`Network::run`], [`Network::fast_forward`]); `step` itself is
+    /// mode-independent.
+    step_mode: StepMode,
     /// Row-band partition of the grid (a single shard when serial).
     shard_map: ShardMap,
     /// Per-shard scratch and staging state (transfers, mailboxes,
@@ -455,6 +460,7 @@ impl Network {
             out_rr,
             in_rr_vc,
             sw_alloc,
+            step_mode: resolve_step_mode(cfg.step_mode),
             shard_map,
             shards,
             pool,
@@ -471,6 +477,110 @@ impl Network {
     /// row count and [`MAX_SHARDS`] (see [`ShardMap::new`]).
     pub fn step_threads(&self) -> usize {
         self.shard_map.count()
+    }
+
+    /// Resolved clock-advance mode: the `step_mode` config knob when set,
+    /// else the `RUCHE_STEP_MODE` environment override, else
+    /// [`StepMode::CycleAccurate`]. Purely a performance trade —
+    /// [`Network::step`] is mode-independent and results are byte-identical
+    /// in every mode (see `docs/EVENTS.md`).
+    pub fn step_mode(&self) -> StepMode {
+        self.step_mode
+    }
+
+    /// Whether the network provably does nothing until new traffic is
+    /// enqueued: no flit is buffered, in pipeline transit, or awaiting a
+    /// delayed ejection, and every source queue is empty. Stepping a
+    /// quiescent network any number of cycles moves no flit and returns no
+    /// ejection — it only advances the clock.
+    pub fn is_quiescent(&self) -> bool {
+        self.in_flight == 0 && self.active_src.is_empty()
+    }
+
+    /// The next cycle in which stepping can move a flit:
+    ///
+    /// * `Some(self.cycle())` while any router buffers a flit or any source
+    ///   queue is non-empty — the very next step may do work;
+    /// * `Some(t)` with `t > self.cycle()` when every flit in flight sits
+    ///   in the hop pipeline (or a delayed ejection) arriving at cycle `t`
+    ///   — every step before `t` is provably empty;
+    /// * `None` when the network [`is_quiescent`](Network::is_quiescent) —
+    ///   nothing will ever happen without a new [`Network::enqueue`].
+    ///
+    /// This is the wake-set introspection event-driven drivers use to jump
+    /// the clock over dead spans (see [`Network::fast_forward`]).
+    pub fn next_event_cycle(&self) -> Option<u64> {
+        if !self.active.is_empty() || !self.active_src.is_empty() {
+            return Some(self.cycle);
+        }
+        let transit = self.in_transit.front().map(|&(arrive, ..)| arrive);
+        let eject = self.in_transit_eject.front().map(|&(arrive, ..)| arrive);
+        match (transit, eject) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (None, None) => None,
+        }
+    }
+
+    /// Advances the clock across a provably-empty span without simulating
+    /// the skipped cycles, stopping at the earlier of `target` and
+    /// [`Network::next_event_cycle`]; returns the new current cycle.
+    ///
+    /// The skip is exact, not approximate: a cycle is only skipped when
+    /// stepping it could not move a flit, so counters, watchdog state,
+    /// snapshots, and telemetry (idle occupancy samples and empty
+    /// injection/ejection bins are recorded in bulk) end up byte-identical
+    /// to stepping the span cycle by cycle. In
+    /// [`StepMode::CycleAccurate`] this never skips, and in
+    /// [`StepMode::Auto`] it engages only after a short idle streak; both
+    /// then return the current cycle unchanged.
+    pub fn fast_forward(&mut self, target: u64) -> u64 {
+        let engaged = match self.step_mode {
+            StepMode::CycleAccurate => false,
+            StepMode::EventDriven => true,
+            // Deterministic heuristic: probe for skippable spans only once
+            // the watchdog shows a short idle streak, so saturated runs
+            // never pay the quiescence checks. Pure wall-clock trade —
+            // skipped spans are provably empty either way.
+            StepMode::Auto => self.cycle - self.last_progress >= AUTO_IDLE_STREAK,
+        };
+        if !engaged {
+            return self.cycle;
+        }
+        let to = match self.next_event_cycle() {
+            Some(t) => t.min(target),
+            None => target,
+        };
+        if to > self.cycle {
+            self.skip_idle_span(to - self.cycle);
+        }
+        self.cycle
+    }
+
+    /// Bulk-records `n` provably-idle cycles and jumps the clock. Callers
+    /// guarantee the span is empty (no buffered flit, no source queue, no
+    /// pipeline arrival before `cycle + n`), which makes every per-cycle
+    /// effect of stepping the span degenerate: all FIFOs sample occupancy
+    /// 0, the injection/ejection series gain empty bins, the ejection
+    /// buffer comes back empty, and `last_progress` stays put.
+    fn skip_idle_span(&mut self, n: u64) {
+        debug_assert!(self.active.is_empty() && self.active_src.is_empty());
+        debug_assert!(self.next_event_cycle().is_none_or(|t| t >= self.cycle + n));
+        self.ejected.clear();
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            let np = self.ports.len();
+            for node in 0..self.routers.len() {
+                for ip in 0..np {
+                    for (v, f) in self.routers[node].inputs[ip].vcs.iter().enumerate() {
+                        debug_assert!(f.is_empty(), "idle span with a buffered flit");
+                        t.record_occupancy_n(node, ip, v, f.len() as u64, n);
+                    }
+                }
+            }
+            t.record_idle_cycles(n);
+        }
+        self.cycle += n;
     }
 
     /// Puts `node` on the planners' worklist (no-op if already there).
@@ -739,32 +849,44 @@ impl Network {
         // phases can borrow it mutably alongside `self`.
         let mut tel = self.telemetry.take();
 
-        // Phase A: plan route/VC/switch grants shard-locally. Every decision
-        // observes cycle-start state (routers are shared immutably across
-        // shards; only shard-owned arbiter state mutates), so the result is
-        // independent of shard count and scheduling.
-        self.plan_phase(tel.is_some());
+        // Empty wake-set fast path: when no router buffers a flit there is
+        // nothing to plan, commit, or drain, so both phases — and their two
+        // pool barriers when sharded — are skipped outright. The phases are
+        // exact no-ops over an empty worklist, so the skip is taken in
+        // every step mode without changing any result.
+        let progressed = if self.active.is_empty() {
+            false
+        } else {
+            // Phase A: plan route/VC/switch grants shard-locally. Every
+            // decision observes cycle-start state (routers are shared
+            // immutably across shards; only shard-owned arbiter state
+            // mutates), so the result is independent of shard count and
+            // scheduling.
+            self.plan_phase(tel.is_some());
 
-        // Replay per-shard telemetry logs into the shared sink in shard
-        // order — identical to the serial recording order.
-        if let Some(t) = tel.as_deref_mut() {
-            for st in &mut self.shards {
-                for &(node, port, vc, cause) in &st.blocked {
-                    t.record_blocked(node as usize, port as usize, vc as usize, cause);
-                }
-                st.blocked.clear();
-                for tr in &st.transfers {
-                    t.record_traversal(tr.node, tr.out_port, tr.out_vc);
+            // Replay per-shard telemetry logs into the shared sink in shard
+            // order — identical to the serial recording order.
+            if let Some(t) = tel.as_deref_mut() {
+                for st in &mut self.shards {
+                    for &(node, port, vc, cause) in &st.blocked {
+                        t.record_blocked(node as usize, port as usize, vc as usize, cause);
+                    }
+                    st.blocked.clear();
+                    for tr in &st.transfers {
+                        t.record_traversal(tr.node, tr.out_port, tr.out_vc);
+                    }
                 }
             }
-        }
-        let progressed = self.shards.iter().any(|s| !s.transfers.is_empty());
+            let progressed = self.shards.iter().any(|s| !s.transfers.is_empty());
 
-        // Phase B: commit the planned traversals. Shard-local effects apply
-        // directly; cross-shard pushes and credit returns go to the shard's
-        // outbox and are drained below in canonical (node, port, vc) order.
-        self.commit_phase();
-        self.drain_shards();
+            // Phase B: commit the planned traversals. Shard-local effects
+            // apply directly; cross-shard pushes and credit returns go to
+            // the shard's outbox and are drained below in canonical
+            // (node, port, vc) order.
+            self.commit_phase();
+            self.drain_shards();
+            progressed
+        };
 
         // Commit injections.
         let planned = std::mem::take(&mut self.scratch_inject);
@@ -826,9 +948,16 @@ impl Network {
         &self.ejected
     }
 
-    /// Runs `n` cycles, discarding ejections (useful for draining).
+    /// Runs `n` cycles, discarding ejections (useful for draining). In the
+    /// event-driven modes, provably-empty spans inside the window are
+    /// fast-forwarded instead of stepped ([`Network::fast_forward`]); the
+    /// end state is byte-identical either way.
     pub fn run(&mut self, n: u64) {
-        for _ in 0..n {
+        let end = self.cycle + n;
+        while self.cycle < end {
+            if self.fast_forward(end) >= end {
+                break;
+            }
             self.step();
         }
     }
@@ -1095,6 +1224,24 @@ impl Network {
             self.shards[s].newly_active = fresh;
         }
     }
+}
+
+/// Idle streak (in cycles) after which [`StepMode::Auto`] starts probing
+/// for skippable spans. Small enough to catch every meaningful dead span,
+/// large enough that a loaded network never pays the checks.
+const AUTO_IDLE_STREAK: u64 = 4;
+
+/// Resolves the requested clock-advance mode: a set config knob wins;
+/// otherwise the `RUCHE_STEP_MODE` environment variable (`cycle`, `event`,
+/// or `auto`); otherwise cycle-accurate.
+fn resolve_step_mode(knob: Option<StepMode>) -> StepMode {
+    if let Some(mode) = knob {
+        return mode;
+    }
+    std::env::var("RUCHE_STEP_MODE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(StepMode::CycleAccurate)
 }
 
 /// Resolves the requested step worker-thread count: a non-zero config knob

@@ -152,6 +152,31 @@ impl NetTelemetry {
         self.cycles += 1;
     }
 
+    /// Samples the (node, in port, vc) input FIFO at length `len` for `n`
+    /// consecutive cycles in one call — the bulk form of `n` repeated
+    /// [`record_occupancy`](NetTelemetry::record_occupancy) calls, used by
+    /// event-driven fast-forward to account for skipped idle spans.
+    #[inline]
+    pub fn record_occupancy_n(&mut self, node: usize, port: usize, vc: usize, len: u64, n: u64) {
+        let s = self.slot(node, port, vc);
+        self.occupancy[s].record_n(len, n);
+    }
+
+    /// Closes `n` consecutive cycles that injected and ejected nothing —
+    /// the bulk form of `n` `record_cycle(0, 0)` calls. The
+    /// injection/ejection series gain the same (possibly zero-filled) bins
+    /// repeated per-cycle recording would have produced, so exports stay
+    /// byte-identical whether an idle span was stepped or skipped.
+    #[inline]
+    pub fn record_idle_cycles(&mut self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.injected.record(self.cycles + n - 1, 0);
+        self.ejected.record(self.cycles + n - 1, 0);
+        self.cycles += n;
+    }
+
     /// Router port directions, in port-index order.
     pub fn ports(&self) -> &[Dir] {
         &self.ports
@@ -288,6 +313,48 @@ mod tests {
         assert_eq!(t.occupancy(0, 0, 0).count(), 1);
         assert_eq!(t.injected().total(), 1);
         assert_eq!(t.ejected().total(), 1);
+    }
+
+    #[test]
+    fn bulk_idle_recording_matches_per_cycle_recording() {
+        // The event-driven fast path accounts for a skipped idle span with
+        // one bulk call; the result must be indistinguishable — counter for
+        // counter and byte for byte — from stepping the span.
+        let mut stepped = NetTelemetry::new(&[Dir::P, Dir::E], 2, 1, 2, 4);
+        let mut skipped = stepped.clone();
+        let n = 11;
+        for _ in 0..n {
+            for node in 0..2 {
+                for port in 0..2 {
+                    stepped.record_occupancy(node, port, 0, 0);
+                }
+            }
+            stepped.record_cycle(0, 0);
+        }
+        for node in 0..2 {
+            for port in 0..2 {
+                skipped.record_occupancy_n(node, port, 0, 0, n);
+            }
+        }
+        skipped.record_idle_cycles(n);
+        assert_eq!(stepped.cycles(), skipped.cycles());
+        for node in 0..2 {
+            for port in 0..2 {
+                assert_eq!(
+                    stepped.occupancy(node, port, 0),
+                    skipped.occupancy(node, port, 0)
+                );
+            }
+        }
+        let blob = |t: &NetTelemetry| {
+            let mut p = JsonProbe::new();
+            t.export(&mut p);
+            p.into_json()
+        };
+        assert_eq!(blob(&stepped), blob(&skipped), "exports must match");
+        // Zero cycles is a no-op.
+        skipped.record_idle_cycles(0);
+        assert_eq!(stepped.cycles(), skipped.cycles());
     }
 
     #[test]

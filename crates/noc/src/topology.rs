@@ -123,6 +123,79 @@ impl DorOrder {
     }
 }
 
+/// How the simulation clock advances between interesting cycles.
+///
+/// Every mode produces **byte-identical** results — snapshots, ejection
+/// traces, link loads, telemetry exports, and repro artifacts never depend
+/// on the step mode, which is why the knob is excluded from the config's
+/// `Debug` rendering (the sweep-cache key). The modes only trade how much
+/// wall-clock time provably-empty cycles cost (see `docs/EVENTS.md`):
+///
+/// * [`CycleAccurate`](StepMode::CycleAccurate) executes every cycle,
+///   including quiescent ones — the reference engine.
+/// * [`EventDriven`](StepMode::EventDriven) lets drivers fast-forward the
+///   clock across spans in which the network provably does nothing
+///   (`Network::next_event_cycle`), paying O(1) per span instead of O(span).
+/// * [`Auto`](StepMode::Auto) behaves like `EventDriven` but only starts
+///   probing for skippable spans after a short idle streak, so saturated
+///   runs never pay the quiescence checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StepMode {
+    /// Execute every cycle (the reference engine; the default).
+    CycleAccurate,
+    /// Fast-forward across provably quiescent spans.
+    EventDriven,
+    /// `EventDriven` gated behind a deterministic idle-streak heuristic.
+    Auto,
+}
+
+impl StepMode {
+    /// The spelling accepted by `RUCHE_STEP_MODE` / `--step-mode`.
+    pub fn name(self) -> &'static str {
+        match self {
+            StepMode::CycleAccurate => "cycle",
+            StepMode::EventDriven => "event",
+            StepMode::Auto => "auto",
+        }
+    }
+}
+
+impl std::str::FromStr for StepMode {
+    type Err = ParseStepModeError;
+
+    /// Parses the CLI/environment spellings: `cycle` (or `cycle-accurate`),
+    /// `event` (or `event-driven`), and `auto`, case-insensitively.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "cycle" | "cycle-accurate" => Ok(StepMode::CycleAccurate),
+            "event" | "event-driven" => Ok(StepMode::EventDriven),
+            "auto" => Ok(StepMode::Auto),
+            _ => Err(ParseStepModeError {
+                input: s.to_string(),
+            }),
+        }
+    }
+}
+
+/// Error from parsing a [`StepMode`] spelling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseStepModeError {
+    /// The rejected input.
+    pub input: String,
+}
+
+impl fmt::Display for ParseStepModeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown step mode {:?}; expected cycle, event, or auto",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseStepModeError {}
+
 /// Errors produced by [`NetworkConfig::validate`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ConfigError {
@@ -238,14 +311,22 @@ pub struct NetworkConfig {
     /// pure performance trade and is deliberately **excluded** from the
     /// config's `Debug` rendering (which the sweep cache uses as its key).
     pub step_threads: usize,
+    /// Clock-advance mode for `Network` drivers (`None` = defer to the
+    /// `RUCHE_STEP_MODE` environment variable, falling back to
+    /// [`StepMode::CycleAccurate`]). Like [`step_threads`]
+    /// (NetworkConfig::step_threads), this is a pure performance knob —
+    /// results are byte-identical in every mode — and is likewise
+    /// **excluded** from the `Debug` rendering / sweep-cache key.
+    pub step_mode: Option<StepMode>,
 }
 
 impl fmt::Debug for NetworkConfig {
     /// Matches the former derived rendering field-for-field but omits
-    /// [`step_threads`](NetworkConfig::step_threads): sweep results are
-    /// byte-identical at any thread count, and `crates/bench` keys its
-    /// result cache on this rendering, so configurations differing only in
-    /// thread count must share a key (and previously cached entries must
+    /// [`step_threads`](NetworkConfig::step_threads) and
+    /// [`step_mode`](NetworkConfig::step_mode): results are byte-identical
+    /// at any thread count and in any step mode, and `crates/bench` keys
+    /// its result cache on this rendering, so configurations differing only
+    /// in those knobs must share a key (and previously cached entries must
     /// stay valid).
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("NetworkConfig")
@@ -286,6 +367,7 @@ impl NetworkConfig {
                 pipeline_stages: 0,
                 edge_bidirectional: false,
                 step_threads: 0,
+                step_mode: None,
             },
         }
     }
@@ -375,6 +457,13 @@ impl NetworkConfig {
     pub fn with_step_threads(self, threads: usize) -> Self {
         NetworkConfigBuilder::from(self)
             .step_threads(threads)
+            .build_unvalidated()
+    }
+
+    /// Sets the clock-advance mode (builder style).
+    pub fn with_step_mode(self, mode: StepMode) -> Self {
+        NetworkConfigBuilder::from(self)
+            .step_mode(mode)
             .build_unvalidated()
     }
 
@@ -713,6 +802,15 @@ impl NetworkConfigBuilder {
     /// results are byte-identical at any value.
     pub fn step_threads(mut self, threads: usize) -> Self {
         self.cfg.step_threads = threads;
+        self
+    }
+
+    /// Sets the clock-advance mode (`None` stays the default: defer to the
+    /// `RUCHE_STEP_MODE` environment variable, falling back to
+    /// cycle-accurate). Purely a performance knob — results are
+    /// byte-identical in every mode.
+    pub fn step_mode(mut self, mode: StepMode) -> Self {
+        self.cfg.step_mode = Some(mode);
         self
     }
 
@@ -1260,16 +1358,55 @@ mod tests {
     }
 
     #[test]
+    fn step_mode_knob_reaches_the_field() {
+        let cfg = NetworkConfig::mesh(Dims::new(8, 8));
+        assert_eq!(cfg.step_mode, None, "default defers to the environment");
+        assert_eq!(
+            cfg.clone().with_step_mode(StepMode::EventDriven).step_mode,
+            Some(StepMode::EventDriven)
+        );
+        let built = NetworkConfig::builder(Dims::new(8, 8), TopologyKind::Mesh)
+            .step_mode(StepMode::Auto)
+            .build()
+            .expect("builder config is valid");
+        assert_eq!(built.step_mode, Some(StepMode::Auto));
+    }
+
+    #[test]
+    fn step_mode_parses_the_documented_spellings() {
+        for (s, m) in [
+            ("cycle", StepMode::CycleAccurate),
+            ("cycle-accurate", StepMode::CycleAccurate),
+            ("event", StepMode::EventDriven),
+            ("Event-Driven", StepMode::EventDriven),
+            (" auto ", StepMode::Auto),
+        ] {
+            assert_eq!(s.parse::<StepMode>(), Ok(m), "spelling {s:?}");
+        }
+        assert!("wheel".parse::<StepMode>().is_err());
+        for m in [
+            StepMode::CycleAccurate,
+            StepMode::EventDriven,
+            StepMode::Auto,
+        ] {
+            assert_eq!(m.name().parse::<StepMode>(), Ok(m), "name round-trips");
+        }
+    }
+
+    #[test]
     fn debug_rendering_omits_step_threads() {
         // The Debug rendering is the sweep-cache key: it must not move when
-        // only the thread count changes (results are byte-identical), and
-        // it must keep the exact derived format so previously written cache
-        // entries stay valid.
+        // only the thread count or step mode changes (results are
+        // byte-identical), and it must keep the exact derived format so
+        // previously written cache entries stay valid.
         let cfg = NetworkConfig::half_ruche(Dims::new(16, 8), 2, CrossbarScheme::Depopulated);
         let serial = format!("{cfg:?}");
         let threaded = format!("{:?}", cfg.clone().with_step_threads(4));
         assert_eq!(serial, threaded);
+        let evented = format!("{:?}", cfg.clone().with_step_mode(StepMode::EventDriven));
+        assert_eq!(serial, evented);
         assert!(!serial.contains("step_threads"));
+        assert!(!serial.contains("step_mode"));
         assert_eq!(
             serial,
             "NetworkConfig { dims: Dims { cols: 16, rows: 8 }, \

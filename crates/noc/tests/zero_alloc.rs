@@ -152,3 +152,62 @@ fn sharded_vc_step_is_allocation_free_in_steady_state() {
         "sharded torus",
     );
 }
+
+/// The event wheel adds nothing to the steady-state allocation story:
+/// driving a bursty workload through `step` + `fast_forward` — bursts,
+/// drains, and skipped quiescent spans alike — allocates nothing once the
+/// scratch buffers are warm.
+#[test]
+fn event_mode_fast_forward_is_allocation_free_in_steady_state() {
+    let dims = Dims::new(8, 8);
+    let cfg = NetworkConfig::mesh(dims).with_step_mode(StepMode::EventDriven);
+    let mut net = Network::new(cfg).unwrap();
+    let mut rng = SmallRng::seed_from_u64(11);
+    let (bursts, period) = (40u64, 64u64);
+    let horizon = bursts * period;
+    let mut schedule: Vec<(u64, EndpointId, Flit)> = Vec::new();
+    let mut id = 0u64;
+    for b in 0..bursts {
+        let cycle = b * period;
+        for _ in 0..6 {
+            let s = Coord::new(rng.gen_range(0..dims.cols), rng.gen_range(0..dims.rows));
+            let d = Coord::new(rng.gen_range(0..dims.cols), rng.gen_range(0..dims.rows));
+            schedule.push((
+                cycle,
+                net.tile_endpoint(s),
+                Flit::single(s, Dest::tile(d), id, cycle),
+            ));
+            id += 1;
+        }
+    }
+
+    // Warmup: the first ten bursts grow every scratch buffer; the rest of
+    // the run — load, drain, and fast-forwarded spans — is measured.
+    let warm_until = 10 * period;
+    let mut next = 0usize;
+    let mut measured = 0u64;
+    let mut iters = 0u64;
+    while net.cycle() < horizon || !net.is_quiescent() {
+        while schedule.get(next).is_some_and(|&(c, ..)| c == net.cycle()) {
+            let (_, ep, f) = schedule[next];
+            net.enqueue(ep, f);
+            next += 1;
+        }
+        let measuring = net.cycle() >= warm_until;
+        let before = allocations();
+        net.step();
+        let wake = schedule.get(next).map_or(horizon, |&(c, ..)| c);
+        net.fast_forward(wake.min(horizon));
+        if measuring {
+            measured += allocations() - before;
+        }
+        iters += 1;
+        assert!(iters < 2 * horizon, "event drive stalled");
+    }
+    assert!(net.is_quiescent());
+    assert_eq!(
+        measured, 0,
+        "event wheel: {measured} heap allocations inside steady-state \
+         step/fast_forward calls"
+    );
+}

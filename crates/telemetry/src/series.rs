@@ -149,6 +149,22 @@ mod tests {
         TimeSeries::new(0);
     }
 
+    /// A zero-amount record still extends the bin vector — the event
+    /// wheel's bulk idle accounting relies on one `record(last, 0)`
+    /// producing exactly the bins that per-cycle empty records would.
+    #[test]
+    fn zero_amount_record_extends_bins() {
+        let mut bulk = TimeSeries::new(10);
+        bulk.record(34, 0);
+        let mut per_cycle = TimeSeries::new(10);
+        for cycle in 0..35 {
+            per_cycle.record(cycle, 0);
+        }
+        assert_eq!(bulk.bins(), per_cycle.bins());
+        assert_eq!(bulk.bins(), &[0, 0, 0, 0]);
+        assert_eq!(bulk.total(), 0);
+    }
+
     #[test]
     fn merge_extends_and_accumulates() {
         let mut a = TimeSeries::new(4);
