@@ -31,9 +31,11 @@ pub mod figures;
 pub mod opts;
 pub mod out;
 pub mod preflight;
+pub mod store;
 pub mod suite;
 pub mod sweep;
 pub mod telemetry;
 
 pub use opts::Opts;
+pub use store::ResultStore;
 pub use sweep::{SweepJob, SweepRunner};

@@ -6,24 +6,27 @@
 //! back **in job order** regardless of thread count, so figure output
 //! (tables, CSVs) is byte-identical between `--threads 1` and `--threads N`.
 //!
-//! The runner consults a keyed on-disk cache (`results/sweep_cache.tsv`)
-//! before simulating: the key is the canonical rendering of the full
-//! `NetworkConfig` + `Testbench` plus [`MODEL_VERSION`], so any change to
-//! either parameter set — or a bumped model version — is a clean miss.
-//! Jobs that need per-tile latency data ([`SweepJob::with_per_tile`])
-//! bypass the cache, which stores scalar aggregates only.
+//! The runner consults the keyed result store (`results/sweep_store/`,
+//! see [`crate::store`]) before simulating: the key is [`MODEL_VERSION`]
+//! plus the canonical [`SweepRequest`] wire rendering of the full
+//! `NetworkConfig` + `Testbench`, so any change to either parameter set —
+//! or a bumped model or key version — is a clean miss. Jobs that need
+//! per-tile latency data ([`SweepJob::with_per_tile`]) bypass the store,
+//! which persists scalar aggregates only. A legacy `sweep_cache.tsv` is
+//! migrated into the store once, on first use.
 
 use crate::opts::Opts;
 use crate::out::results_dir;
+use crate::store::ResultStore;
 use ruche_noc::prelude::*;
 use ruche_stats::Accum;
-use ruche_traffic::{CurvePoint, Pattern, TbResult, Testbench};
-// lint:allow(hash-order): the sweep cache is insert/lookup only; every
-// artifact writer sorts the merged keys before emitting a single byte.
+use ruche_traffic::{CurvePoint, Pattern, SweepRequest, TbResult, Testbench};
+// lint:allow(hash-order): the legacy sweep cache is insert/lookup only;
+// every artifact writer sorts the merged keys before emitting a byte.
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Bump when simulator or model changes invalidate cached sweep results
 /// (router engine, RNG, testbench methodology).
@@ -58,10 +61,30 @@ impl SweepJob {
         self
     }
 
-    /// The cache key: model version plus the canonical rendering of every
-    /// configuration and testbench field.
+    /// The job's canonical wire identity — the [`SweepRequest`] shared by
+    /// the daemon, the result store, and `repro`.
+    pub fn request(&self) -> SweepRequest {
+        SweepRequest::new(self.cfg.clone(), self.tb.clone())
+    }
+
+    /// The store key: [`MODEL_VERSION`] plus the canonical
+    /// [`SweepRequest`] rendering (which carries its own explicit
+    /// `key_version`). Byte-stable across processes and constructible by
+    /// any client that can write JSON — unlike the deprecated
+    /// `Debug`-based [`SweepJob::key`]. `step_threads` and `step_mode`
+    /// never reach the key, so results from any engine at any thread
+    /// count are interchangeable.
+    pub fn cache_key(&self) -> String {
+        format!("{MODEL_VERSION}|{}", self.request().cache_key())
+    }
+
+    /// The legacy cache key.
+    #[deprecated(
+        since = "0.7.0",
+        note = "use `SweepJob::cache_key`, the canonical `SweepRequest`-based key"
+    )]
     pub fn key(&self) -> String {
-        format!("{MODEL_VERSION}|{:?}|{:?}", self.cfg, self.tb)
+        self.cache_key()
     }
 }
 
@@ -116,8 +139,15 @@ pub fn curve_point(res: &TbResult) -> CurvePoint {
     }
 }
 
-/// The keyed on-disk result cache behind the runner, persisted as TSV
-/// under `results/sweep_cache.tsv`.
+/// The **legacy** keyed on-disk result cache, persisted as TSV under
+/// `results/sweep_cache.tsv`.
+///
+/// Superseded by [`ResultStore`], which the runner and the sweep service
+/// now share; an existing TSV is migrated into the store once
+/// ([`ResultStore::migrate_legacy_tsv`]) and renamed away. The type stays
+/// for that migration and for downstream code that still links it; its
+/// `save` is now atomic (tmp + rename), so even the legacy path can no
+/// longer truncate the cache mid-write.
 ///
 /// Follows the same discipline as `suite::Suite`: only instances created
 /// with [`SweepCache::load`] persist, so ad-hoc in-memory caches can never
@@ -152,7 +182,7 @@ impl SweepCache {
         }
     }
 
-    fn parse_line(line: &str) -> Option<(String, TbResult)> {
+    pub(crate) fn parse_line(line: &str) -> Option<(String, TbResult)> {
         let fields: Vec<&str> = line.split('\t').collect();
         let [key, offered, accepted, avg, p99, delivered, lost, saturated] = fields[..] else {
             return None;
@@ -214,7 +244,10 @@ impl SweepCache {
     }
 
     /// Persists new entries, merging with whatever is on disk first so
-    /// concurrent harnesses never erase each other's results.
+    /// concurrent harnesses never erase each other's results. The write
+    /// is atomic — a temporary file renamed into place — so an
+    /// interrupted run leaves either the old complete file or the new
+    /// one, never a truncated prefix.
     pub fn save(&mut self) {
         if !self.persist || !self.dirty {
             return;
@@ -227,8 +260,11 @@ impl SweepCache {
         for k in keys {
             let _ = writeln!(body, "{}", Self::render_line(k, &merged[k]));
         }
-        let _ = std::fs::write(Self::path(), body);
-        self.dirty = false;
+        let path = Self::path();
+        let tmp = path.with_extension(format!("tsv.tmp.{}", std::process::id()));
+        if std::fs::write(&tmp, body).is_ok() && std::fs::rename(&tmp, &path).is_ok() {
+            self.dirty = false;
+        }
     }
 }
 
@@ -239,9 +275,8 @@ pub struct SweepRunner {
     threads: usize,
     step_threads: usize,
     step_mode: Option<StepMode>,
-    cache: SweepCache,
-    cache_enabled: bool,
-    /// Jobs served from the cache across this runner's lifetime.
+    store: Option<Arc<ResultStore>>,
+    /// Jobs served from the result store across this runner's lifetime.
     pub cache_hits: usize,
     /// Jobs simulated across this runner's lifetime.
     pub simulated: usize,
@@ -260,32 +295,43 @@ impl SweepRunner {
         } else {
             opts.threads
         };
+        let store = (!opts.no_cache).then(|| {
+            let store = ResultStore::open_default();
+            store.migrate_legacy_tsv(&results_dir().join("sweep_cache.tsv"));
+            Arc::new(store)
+        });
         SweepRunner {
             threads,
             step_threads: opts.step_threads,
             step_mode: opts.step_mode,
-            cache: if opts.no_cache {
-                SweepCache::default()
-            } else {
-                SweepCache::load()
-            },
-            cache_enabled: !opts.no_cache,
+            store,
             cache_hits: 0,
             simulated: 0,
         }
     }
 
-    /// A runner with an explicit thread count and no cache (tests).
+    /// A runner with an explicit thread count and no result store (tests).
     pub fn uncached(threads: usize) -> Self {
         SweepRunner {
             threads,
             step_threads: 0,
             step_mode: None,
-            cache: SweepCache::default(),
-            cache_enabled: false,
+            store: None,
             cache_hits: 0,
             simulated: 0,
         }
+    }
+
+    /// A runner backed by an explicit (typically shared) result store —
+    /// how the sweep service daemon and its runner see one cache.
+    pub fn with_store(mut self, store: Arc<ResultStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// The result store backing this runner, if caching is enabled.
+    pub fn store(&self) -> Option<&Arc<ResultStore>> {
+        self.store.as_ref()
     }
 
     /// Shards every simulated job's `Network::step` across `step_threads`
@@ -328,14 +374,36 @@ impl SweepRunner {
     /// Panics if any job's pattern is invalid for its configuration (the
     /// same contract as `ruche_traffic::run`), or if a worker panics.
     pub fn run_all(&mut self, jobs: &[SweepJob]) -> Vec<TbResult> {
+        self.run_all_with(jobs, |_, _| {})
+    }
+
+    /// Like [`SweepRunner::run_all`], additionally invoking `sink(i,
+    /// &result)` the moment `jobs[i]`'s result exists — store hits
+    /// immediately (in job order), simulated jobs from the worker that
+    /// finished them (in completion order). The sweep service streams
+    /// per-job responses through this hook while the batch is still
+    /// running; the returned vector stays in job order regardless.
+    ///
+    /// Every job reaches the sink exactly once. The sink runs on worker
+    /// threads, so it must be `Sync` and should be quick.
+    ///
+    /// # Panics
+    ///
+    /// As [`SweepRunner::run_all`].
+    pub fn run_all_with(
+        &mut self,
+        jobs: &[SweepJob],
+        sink: impl Fn(usize, &TbResult) + Sync,
+    ) -> Vec<TbResult> {
         let mut slots: Vec<Option<TbResult>> = vec![None; jobs.len()];
         let mut misses: Vec<usize> = Vec::new();
         for (i, job) in jobs.iter().enumerate() {
-            let cached = (self.cache_enabled && !job.per_tile)
-                .then(|| self.cache.get(&job.key()).cloned())
+            let cached = (self.store.is_some() && !job.per_tile)
+                .then(|| self.store.as_ref().and_then(|s| s.get(&job.cache_key())))
                 .flatten();
             match cached {
                 Some(res) => {
+                    sink(i, &res);
                     slots[i] = Some(res);
                     self.cache_hits += 1;
                 }
@@ -350,15 +418,20 @@ impl SweepRunner {
                 self.threads,
                 self.step_threads,
                 self.step_mode,
+                &sink,
             );
             for (&i, res) in misses.iter().zip(computed) {
-                if self.cache_enabled && !jobs[i].per_tile {
-                    self.cache.insert(jobs[i].key(), scrub_per_tile(&res));
+                if let Some(store) = &self.store {
+                    if !jobs[i].per_tile {
+                        store.put(&jobs[i].cache_key(), &scrub_per_tile(&res));
+                    }
                 }
                 slots[i] = Some(res);
                 self.simulated += 1;
             }
-            self.cache.save();
+            if let Some(store) = &self.store {
+                store.flush();
+            }
         }
 
         slots
@@ -390,6 +463,7 @@ fn run_pool(
     threads: usize,
     step_threads: usize,
     step_mode: Option<StepMode>,
+    sink: &(impl Fn(usize, &TbResult) + Sync),
 ) -> Vec<TbResult> {
     let workers = threads.min(misses.len()).max(1);
     let slots: Vec<Mutex<Option<TbResult>>> = misses.iter().map(|_| Mutex::new(None)).collect();
@@ -409,6 +483,7 @@ fn run_pool(
                 }
                 let res = ruche_traffic::run(&cfg, &job.tb)
                     .unwrap_or_else(|e| panic!("sweep job {i} cannot run: {e}"));
+                sink(i, &res);
                 *slots[k].lock().expect("slot lock") = Some(res);
             });
         }
@@ -450,7 +525,13 @@ mod tests {
                 .build()
                 .unwrap(),
         );
-        let keys = [a.key(), b.key(), c.key(), d.key(), e.key()];
+        let keys = [
+            a.cache_key(),
+            b.cache_key(),
+            c.cache_key(),
+            d.cache_key(),
+            e.cache_key(),
+        ];
         for (i, k) in keys.iter().enumerate() {
             for (j, l) in keys.iter().enumerate() {
                 assert_eq!(i == j, k == l, "{k} vs {l}");
@@ -462,16 +543,16 @@ mod tests {
     fn identical_jobs_share_a_key_and_hit_the_cache() {
         let dims = Dims::new(4, 4);
         let job = SweepJob::new(NetworkConfig::mesh(dims), quick_tb(0.05));
-        assert_eq!(job.key(), job.clone().key());
+        assert_eq!(job.cache_key(), job.clone().cache_key());
 
         let mut cache = SweepCache::default();
         let res = ruche_traffic::run(&job.cfg, &job.tb).unwrap();
-        cache.insert(job.key(), res.clone());
-        let hit = cache.get(&job.key()).expect("cache hit");
+        cache.insert(job.cache_key(), res.clone());
+        let hit = cache.get(&job.cache_key()).expect("cache hit");
         assert_eq!(hit.avg_latency, res.avg_latency);
         assert_eq!(hit.delivered, res.delivered);
         assert!(cache
-            .get(&SweepJob::new(NetworkConfig::torus(dims), quick_tb(0.05)).key())
+            .get(&SweepJob::new(NetworkConfig::torus(dims), quick_tb(0.05)).cache_key())
             .is_none());
     }
 
@@ -482,8 +563,8 @@ mod tests {
         let serial = SweepJob::new(NetworkConfig::mesh(dims), tb.clone());
         let sharded = SweepJob::new(NetworkConfig::mesh(dims).with_step_threads(4), tb.clone());
         assert_eq!(
-            serial.key(),
-            sharded.key(),
+            serial.cache_key(),
+            sharded.cache_key(),
             "sharded and serial runs are byte-identical, so they must share \
              a cache entry"
         );
@@ -497,9 +578,9 @@ mod tests {
             tb4,
         );
         let res = ruche_traffic::run(&a.cfg, &a.tb).unwrap();
-        cache.insert(a.key(), res);
+        cache.insert(a.cache_key(), res);
         assert!(
-            cache.get(&b.key()).is_some(),
+            cache.get(&b.cache_key()).is_some(),
             "cache hits must be thread-count-independent"
         );
     }
@@ -515,12 +596,12 @@ mod tests {
         );
         let auto = SweepJob::new(NetworkConfig::mesh(dims).with_step_mode(StepMode::Auto), tb);
         assert_eq!(
-            cycle.key(),
-            event.key(),
+            cycle.cache_key(),
+            event.cache_key(),
             "event-driven and cycle-accurate runs are byte-identical, so \
              they must share a cache entry"
         );
-        assert_eq!(cycle.key(), auto.key());
+        assert_eq!(cycle.cache_key(), auto.cache_key());
         // And therefore a result computed in one mode is a hit for a run
         // in any other mode.
         let mut cache = SweepCache::default();
@@ -531,9 +612,9 @@ mod tests {
             tb4,
         );
         let res = ruche_traffic::run(&a.cfg, &a.tb).unwrap();
-        cache.insert(a.key(), res);
+        cache.insert(a.cache_key(), res);
         assert!(
-            cache.get(&b.key()).is_some(),
+            cache.get(&b.cache_key()).is_some(),
             "cache hits must be step-mode-independent"
         );
     }

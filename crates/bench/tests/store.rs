@@ -1,0 +1,247 @@
+//! Crash-safety and compaction contracts of the concurrent result store,
+//! plus its integration with the sweep runner.
+
+use ruche_bench::store::{ResultStore, SHARDS};
+use ruche_bench::sweep::SweepJob;
+use ruche_bench::SweepRunner;
+use ruche_noc::prelude::*;
+use ruche_traffic::{Pattern, TbResult, Testbench};
+use std::path::PathBuf;
+
+/// A fresh scratch directory per test case (no tempfile dependency).
+fn scratch(case: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ruche-store-{}-{case}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn sample(seed: u64) -> TbResult {
+    TbResult {
+        offered: 0.1 + seed as f64 / 100.0,
+        accepted: 0.099,
+        avg_latency: 7.25,
+        p99_latency: 19.0,
+        delivered: 1000 + seed,
+        lost: 0,
+        per_tile_latency: Vec::new(),
+        saturated: false,
+    }
+}
+
+#[test]
+fn entries_survive_a_reopen_byte_identically() {
+    let dir = scratch("reopen");
+    let store = ResultStore::open(&dir);
+    for i in 0..20 {
+        store.put(&format!("v1|key-{i}"), &sample(i));
+    }
+    store.flush();
+    let reopened = ResultStore::open(&dir);
+    assert_eq!(reopened.len(), 20);
+    for i in 0..20 {
+        let key = format!("v1|key-{i}");
+        assert_eq!(reopened.get_raw(&key), store.get_raw(&key), "bytes");
+        assert_eq!(reopened.get(&key).unwrap(), sample(i), "decoded value");
+    }
+}
+
+#[test]
+fn a_simulated_mid_write_crash_loses_at_most_the_torn_tail() {
+    let dir = scratch("crash");
+    let store = ResultStore::open(&dir);
+    for i in 0..16 {
+        store.put(&format!("v1|crash-{i}"), &sample(i));
+    }
+    store.flush();
+
+    // Simulate a crashed *non-atomic* writer: a shard file with a torn
+    // final line, and a leftover temporary from an interrupted flush.
+    let mut torn_shard = None;
+    for i in 0..SHARDS {
+        let p = dir.join(format!("shard-{i}.tsv"));
+        if let Ok(body) = std::fs::read_to_string(&p) {
+            if !body.is_empty() {
+                let torn = format!("{body}v1|torn-key\t{{\"result_version\":1,\"off");
+                std::fs::write(&p, torn).unwrap();
+                torn_shard = Some(i);
+                break;
+            }
+        }
+    }
+    let torn_shard = torn_shard.expect("at least one shard has entries");
+    std::fs::write(
+        dir.join(format!("shard-{torn_shard}.tmp.99999")),
+        "half a flush",
+    )
+    .unwrap();
+
+    // Every complete entry survives; the torn tail reads as absent.
+    let recovered = ResultStore::open(&dir);
+    assert_eq!(recovered.len(), 16, "no complete entry lost");
+    for i in 0..16 {
+        assert_eq!(recovered.get(&format!("v1|crash-{i}")).unwrap(), sample(i));
+    }
+    assert!(recovered.get_raw("v1|torn-key").is_none());
+
+    // Compaction heals the file and sweeps the leftover temporary.
+    assert_eq!(recovered.compact(), 16);
+    assert!(!dir.join(format!("shard-{torn_shard}.tmp.99999")).exists());
+    let healed = ResultStore::open(&dir);
+    assert_eq!(healed.len(), 16);
+}
+
+#[test]
+fn compaction_preserves_every_entry_byte_identically() {
+    let dir = scratch("compact");
+    let store = ResultStore::open(&dir);
+    for i in 0..32 {
+        store.put(&format!("v1|compact-{i}"), &sample(i));
+    }
+    // A value from a future schema: must ride through compaction
+    // untouched even though this build cannot decode it.
+    store.put_raw(
+        "v1|from-the-future",
+        "{\"result_version\":99,\"zeta\":[1,2,3]}".into(),
+    );
+    store.flush();
+    let before: Vec<(String, String)> = (0..32)
+        .map(|i| format!("v1|compact-{i}"))
+        .chain(["v1|from-the-future".to_string()])
+        .map(|k| (k.clone(), store.get_raw(&k).unwrap()))
+        .collect();
+
+    assert_eq!(store.compact(), 33);
+    let after = ResultStore::open(&dir);
+    assert_eq!(after.len(), 33);
+    for (k, raw) in &before {
+        assert_eq!(after.get_raw(k).as_ref(), Some(raw), "{k}");
+    }
+    assert!(after.get("v1|from-the-future").is_none(), "foreign = miss");
+
+    // Compacted shard files are sorted and duplicate-free.
+    for i in 0..SHARDS {
+        if let Ok(body) = std::fs::read_to_string(dir.join(format!("shard-{i}.tsv"))) {
+            let keys: Vec<&str> = body
+                .lines()
+                .map(|l| l.split_once('\t').unwrap().0)
+                .collect();
+            let mut sorted = keys.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(keys, sorted, "shard {i} sorted and deduplicated");
+        }
+    }
+}
+
+#[test]
+fn concurrent_writers_never_lose_an_entry() {
+    let dir = scratch("concurrent");
+    let store = ResultStore::open(&dir);
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            let store = &store;
+            s.spawn(move || {
+                for i in 0..25u64 {
+                    store.put(&format!("v1|t{t}-{i}"), &sample(t * 100 + i));
+                }
+            });
+        }
+    });
+    assert_eq!(store.len(), 100);
+    store.flush();
+    let reopened = ResultStore::open(&dir);
+    assert_eq!(reopened.len(), 100);
+    for t in 0..4u64 {
+        for i in 0..25u64 {
+            assert_eq!(
+                reopened.get(&format!("v1|t{t}-{i}")).unwrap(),
+                sample(t * 100 + i)
+            );
+        }
+    }
+}
+
+#[test]
+fn legacy_tsv_migrates_once_and_atomically() {
+    let dir = scratch("migrate");
+    let tsv = dir.join("sweep_cache.tsv");
+    // Two well-formed legacy lines (old Debug-rendered keys), one line
+    // from a foreign model version, and one torn line.
+    std::fs::write(
+        &tsv,
+        "v1|NetworkConfig { a }|Testbench { b }\t0.1\t0.09\t5.5\t12\t900\t0\t0\n\
+         v1|NetworkConfig { c }|Testbench { d }\t0.2\t0.18\t9.5\t30\t1800\t3\t1\n\
+         v0|old-model\t0.1\t0.1\t1\t1\t1\t0\t0\n\
+         v1|torn\t0.3\t0.2\n",
+    )
+    .unwrap();
+
+    let store = ResultStore::open(dir.join("sweep_store"));
+    assert_eq!(store.migrate_legacy_tsv(&tsv), 2, "only valid v1 lines");
+    assert!(!tsv.exists(), "original renamed away");
+    assert!(tsv.with_extension("tsv.migrated").exists());
+
+    let imported = store
+        .get("v1|NetworkConfig { a }|Testbench { b }")
+        .expect("imported entry decodes");
+    assert_eq!(imported.offered, 0.1);
+    assert_eq!(imported.delivered, 900);
+    assert!(!imported.saturated);
+    let second = store.get("v1|NetworkConfig { c }|Testbench { d }").unwrap();
+    assert!(second.saturated);
+    assert_eq!(second.lost, 3);
+
+    // Second call: nothing left to migrate.
+    assert_eq!(store.migrate_legacy_tsv(&tsv), 0);
+    // The imported entries persist across a reopen.
+    assert_eq!(ResultStore::open(dir.join("sweep_store")).len(), 2);
+}
+
+#[test]
+fn runners_sharing_a_store_turn_repeat_batches_into_hits() {
+    let dir = scratch("runner");
+    let store = std::sync::Arc::new(ResultStore::open(&dir));
+    let tb = Testbench::builder(Pattern::UniformRandom, 0.05)
+        .quick()
+        .build()
+        .unwrap();
+    let jobs: Vec<SweepJob> = [4u16, 6]
+        .iter()
+        .map(|&n| SweepJob::new(NetworkConfig::mesh(Dims::new(n, n)), tb.clone()))
+        .collect();
+
+    let mut first = SweepRunner::uncached(2).with_store(store.clone());
+    let cold = first.run_all(&jobs);
+    assert_eq!(first.simulated, 2);
+    assert_eq!(first.cache_hits, 0);
+
+    let mut second = SweepRunner::uncached(2).with_store(store.clone());
+    let warm = second.run_all(&jobs);
+    assert_eq!(second.simulated, 0, "everything served from the store");
+    assert_eq!(second.cache_hits, 2);
+    for (a, b) in cold.iter().zip(&warm) {
+        // The store persists scalar aggregates only (per-tile data is
+        // scrubbed, exactly as the legacy cache did); every scalar must
+        // round-trip bit-exactly.
+        let scrubbed = TbResult {
+            per_tile_latency: Vec::new(),
+            ..a.clone()
+        };
+        assert_eq!(&scrubbed, b, "store round-trip is exact");
+    }
+
+    // And the streaming sink sees every job exactly once.
+    let seen = std::sync::Mutex::new(Vec::new());
+    let mut third = SweepRunner::uncached(2).with_store(store);
+    third.run_all_with(&jobs, |i, res| {
+        seen.lock().unwrap().push((i, res.clone()));
+    });
+    let mut seen = seen.into_inner().unwrap();
+    seen.sort_by_key(|(i, _)| *i);
+    assert_eq!(seen.len(), jobs.len());
+    for (k, (i, res)) in seen.iter().enumerate() {
+        assert_eq!(k, *i);
+        assert_eq!(res, &warm[*i]);
+    }
+}

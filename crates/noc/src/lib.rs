@@ -57,6 +57,7 @@ pub mod shard;
 pub mod sim;
 pub mod telemetry;
 pub mod topology;
+pub mod wire;
 
 pub use crate::error::Error;
 

@@ -1,0 +1,122 @@
+//! A small blocking client for the sweep service protocol — what
+//! `ruche-sim submit` and the end-to-end tests drive.
+
+use crate::proto::{self, done_count};
+use crate::sock::{AnyStream, Bind};
+use ruche_telemetry::json::parse;
+use std::io::{self, BufRead, BufReader, Write};
+
+/// One connection to a running service daemon.
+pub struct Client {
+    writer: AnyStream,
+    reader: BufReader<AnyStream>,
+}
+
+impl Client {
+    /// Connects to a daemon at `bind`.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from connecting.
+    pub fn connect(bind: &Bind) -> io::Result<Self> {
+        let writer = AnyStream::connect(bind)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { writer, reader })
+    }
+
+    /// Sends one request line.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from the write.
+    pub fn send(&mut self, line: &str) -> io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Reads one response line (without its newline).
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::UnexpectedEof`] if the daemon closed the
+    /// connection, or any other read error.
+    pub fn recv(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection",
+            ));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+
+    /// Submits a batch line and collects every response line through the
+    /// `{"done":N}` terminator (included). A top-level `{"error":...}`
+    /// response — the answer to a request the daemon could not parse —
+    /// ends collection too.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from the exchange.
+    pub fn submit(&mut self, batch_line: &str) -> io::Result<Vec<String>> {
+        self.send(batch_line)?;
+        let mut lines = Vec::new();
+        loop {
+            let line = self.recv()?;
+            let finished = done_count(&line).is_some() || is_request_error(&line);
+            lines.push(line);
+            if finished {
+                return Ok(lines);
+            }
+        }
+    }
+
+    /// Pings the daemon; true iff it answered `{"ok":true}`.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from the exchange.
+    pub fn ping(&mut self) -> io::Result<bool> {
+        self.send(r#"{"cmd":"ping"}"#)?;
+        Ok(self.recv()? == proto::render_pong())
+    }
+
+    /// Fetches the daemon's metrics line (`{"metrics":{...}}`).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from the exchange.
+    pub fn metrics(&mut self) -> io::Result<String> {
+        self.send(r#"{"cmd":"metrics"}"#)?;
+        self.recv()
+    }
+
+    /// Asks the daemon to shut down; returns once it acknowledges.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from the exchange.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        self.send(r#"{"cmd":"shutdown"}"#)?;
+        let ack = self.recv()?;
+        if ack == proto::render_bye() {
+            Ok(())
+        } else {
+            Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected shutdown ack: {ack}"),
+            ))
+        }
+    }
+}
+
+/// Is `line` a top-level request error (as opposed to a per-job error,
+/// which carries a `"job"` index)?
+fn is_request_error(line: &str) -> bool {
+    parse(line).is_ok_and(|v| v.get("error").is_some() && v.get("job").is_none())
+}

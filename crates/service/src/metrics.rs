@@ -1,0 +1,140 @@
+//! Service counters.
+//!
+//! Deliberately counter-only — no wall-clock latencies — so the metrics
+//! surface keeps the repo's determinism discipline: every value is a
+//! function of the requests served, never of time. Counters export both
+//! as a single-line JSON response (the `{"cmd":"metrics"}` answer) and
+//! through the [`ruche_telemetry::probe::Probe`] interface.
+
+use ruche_telemetry::json::Json;
+use ruche_telemetry::probe::Probe;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters for one [`Engine`](crate::Engine). All updates are
+/// relaxed: values are observability, never synchronization.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Connections accepted by the daemon.
+    pub(crate) connections: AtomicU64,
+    /// Request lines processed (batches and commands alike).
+    pub(crate) requests: AtomicU64,
+    /// Batch requests processed.
+    pub(crate) batches: AtomicU64,
+    /// Jobs carried by those batches (including rejected ones).
+    pub(crate) jobs: AtomicU64,
+    /// Jobs refused by decode or pre-screening (config/verifier/...).
+    pub(crate) rejected: AtomicU64,
+    /// Jobs answered from the result store without simulating.
+    pub(crate) store_hits: AtomicU64,
+    /// Jobs that joined an identical job already in flight.
+    pub(crate) inflight_joins: AtomicU64,
+    /// Jobs actually simulated.
+    pub(crate) simulated: AtomicU64,
+}
+
+impl Metrics {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Connections accepted by the daemon.
+    pub fn connections(&self) -> u64 {
+        self.connections.load(Ordering::Relaxed)
+    }
+
+    /// Request lines processed.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Batch requests processed.
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Jobs received, including rejected ones.
+    pub fn jobs(&self) -> u64 {
+        self.jobs.load(Ordering::Relaxed)
+    }
+
+    /// Jobs refused by decode or pre-screening.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Jobs answered from the result store without simulating.
+    pub fn store_hits(&self) -> u64 {
+        self.store_hits.load(Ordering::Relaxed)
+    }
+
+    /// Jobs that joined an identical in-flight job instead of simulating.
+    pub fn inflight_joins(&self) -> u64 {
+        self.inflight_joins.load(Ordering::Relaxed)
+    }
+
+    /// Jobs actually simulated.
+    pub fn simulated(&self) -> u64 {
+        self.simulated.load(Ordering::Relaxed)
+    }
+
+    /// A named snapshot of every counter, in fixed declaration order.
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("connections", self.connections()),
+            ("requests", self.requests()),
+            ("batches", self.batches()),
+            ("jobs", self.jobs()),
+            ("rejected", self.rejected()),
+            ("store_hits", self.store_hits()),
+            ("inflight_joins", self.inflight_joins()),
+            ("simulated", self.simulated()),
+        ]
+    }
+
+    /// The single-line `{"metrics":{...}}` response.
+    pub fn render(&self) -> String {
+        Json::Obj(vec![(
+            "metrics".into(),
+            Json::Obj(
+                self.snapshot()
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), Json::U64(v)))
+                    .collect(),
+            ),
+        )])
+        .render()
+    }
+
+    /// Reports every counter as a probe scalar, prefixed `service.`.
+    pub fn record(&self, probe: &mut dyn Probe) {
+        for (name, value) in self.snapshot() {
+            probe.scalar(&format!("service.{name}"), value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruche_telemetry::json::parse;
+
+    #[test]
+    fn metrics_render_on_one_line_and_roundtrip() {
+        let m = Metrics::new();
+        Metrics::add(&m.jobs, 3);
+        Metrics::add(&m.simulated, 2);
+        Metrics::add(&m.store_hits, 1);
+        let line = m.render();
+        assert!(!line.contains('\n'));
+        let v = parse(&line).expect("metrics line parses");
+        let inner = v.get("metrics").expect("metrics object");
+        assert_eq!(inner.get("jobs").and_then(Json::as_u64), Some(3));
+        assert_eq!(inner.get("simulated").and_then(Json::as_u64), Some(2));
+        assert_eq!(inner.get("connections").and_then(Json::as_u64), Some(0));
+    }
+}

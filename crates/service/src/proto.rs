@@ -1,0 +1,248 @@
+//! The line-oriented JSON protocol the sweep service speaks.
+//!
+//! Every request is one line of JSON; every response is one or more lines
+//! of JSON. A connection interleaves nothing: responses to one request are
+//! fully written (terminated by the `{"done":N}` line for batches) before
+//! the next request's responses begin.
+//!
+//! Requests:
+//!
+//! | line | meaning |
+//! |---|---|
+//! | `{"jobs":[<SweepRequest>...], "per_tile":bool?}` | evaluate a batch |
+//! | `{"cmd":"ping"}` | liveness check |
+//! | `{"cmd":"metrics"}` | counter snapshot |
+//! | `{"cmd":"shutdown"}` | stop the daemon after acking |
+//!
+//! Batch responses, one line per job **in job order**, streamed as each
+//! resolves: `{"job":i,"result":<TbResult>}` or
+//! `{"job":i,"error":{"stage":...,"reason":...}}`, then `{"done":N}`.
+//! A malformed job inside a well-formed batch becomes that job's error
+//! line — it never disturbs its siblings. Only a line that is not a
+//! well-formed request at all gets the top-level `{"error":...}` response.
+//!
+//! Everything here renders through [`ruche_telemetry::json::Json`], whose
+//! string escaping covers `"` and `\` only — so [`JobError::new`]
+//! sanitizes embedded newlines/tabs (multi-line verifier reports would
+//! otherwise break both the line framing and the codec).
+
+use ruche_noc::wire::opt_bool;
+use ruche_telemetry::json::{parse, Json};
+use ruche_traffic::{SweepRequest, TbResult};
+use std::fmt;
+
+/// A structured job rejection: which screening `stage` refused the job
+/// and a single-line human-readable `reason`.
+///
+/// Stages, in screening order: `request` (the job did not decode),
+/// `config` (`NetworkConfig::validate`), `testbench`
+/// (`Testbench::validate`), `pattern` (`Pattern::validate` against the
+/// config's dimensions), `faults` (`FaultModel::validate`), `verify`
+/// (the `ruche-verify` deadlock-freedom proof found errors), and `engine`
+/// (the simulation worker itself failed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobError {
+    /// The screening stage that rejected the job.
+    pub stage: String,
+    /// Single-line description (newlines and tabs sanitized away).
+    pub reason: String,
+}
+
+impl JobError {
+    /// Builds an error, flattening `reason` onto one line: the protocol
+    /// is line-framed and the JSON codec escapes only `"` and `\`, so a
+    /// raw newline from a multi-line verifier report must never reach
+    /// the wire.
+    pub fn new(stage: impl Into<String>, reason: impl Into<String>) -> Self {
+        let reason = reason
+            .into()
+            .replace('\r', "")
+            .replace('\n', "; ")
+            .replace('\t', " ");
+        JobError {
+            stage: stage.into(),
+            reason,
+        }
+    }
+
+    /// The wire form: `{"stage":...,"reason":...}`.
+    pub fn to_wire(&self) -> Json {
+        Json::Obj(vec![
+            ("stage".into(), Json::Str(self.stage.clone())),
+            ("reason".into(), Json::Str(self.reason.clone())),
+        ])
+    }
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.stage, self.reason)
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// A batch of sweep jobs. Jobs that failed to decode ride along as
+/// errors so the engine can answer them in position without aborting
+/// their siblings.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// The decoded jobs, in request order; a malformed job is its error.
+    pub jobs: Vec<Result<SweepRequest, JobError>>,
+    /// Keep per-tile latency accumulators (bypasses the result store,
+    /// which persists scalar aggregates only).
+    pub per_tile: bool,
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Evaluate a batch of sweep jobs.
+    Batch(Batch),
+    /// Liveness check; answered with [`render_pong`].
+    Ping,
+    /// Counter snapshot; answered with the engine's metrics line.
+    Metrics,
+    /// Stop the daemon after acking with [`render_bye`].
+    Shutdown,
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// A [`JobError`] with stage `request` when the line is not a well-formed
+/// request at all. Malformed *jobs* inside a well-formed batch are not an
+/// error here — they come back as `Err` entries of [`Batch::jobs`].
+pub fn parse_request(line: &str) -> Result<Request, JobError> {
+    let v = parse(line).map_err(|e| JobError::new("request", format!("malformed JSON: {e}")))?;
+    if !matches!(v, Json::Obj(_)) {
+        return Err(JobError::new("request", "expected a JSON object"));
+    }
+    if let Some(cmd) = v.get("cmd") {
+        let name = cmd
+            .as_str()
+            .ok_or_else(|| JobError::new("request", "cmd must be a string"))?;
+        return match name {
+            "ping" => Ok(Request::Ping),
+            "metrics" => Ok(Request::Metrics),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(JobError::new(
+                "request",
+                format!("unknown command {other:?}"),
+            )),
+        };
+    }
+    let jobs = v
+        .get("jobs")
+        .ok_or_else(|| JobError::new("request", "expected \"jobs\" or \"cmd\""))?
+        .as_arr()
+        .ok_or_else(|| JobError::new("request", "jobs must be an array"))?;
+    if jobs.is_empty() {
+        return Err(JobError::new("request", "jobs must not be empty"));
+    }
+    let per_tile = opt_bool(&v, "per_tile")
+        .map_err(|e| JobError::new("request", e.to_string()))?
+        .unwrap_or(false);
+    let jobs = jobs
+        .iter()
+        .map(|j| {
+            SweepRequest::from_wire(j)
+                .map_err(|e| JobError::new("request", format!("{}: {}", e.field, e.reason)))
+        })
+        .collect();
+    Ok(Request::Batch(Batch { jobs, per_tile }))
+}
+
+/// Renders a per-job success line: `{"job":i,"result":{...}}`.
+pub fn render_job_result(i: usize, res: &TbResult) -> String {
+    Json::Obj(vec![
+        ("job".into(), Json::U64(i as u64)),
+        ("result".into(), res.to_wire()),
+    ])
+    .render()
+}
+
+/// Renders a per-job rejection line: `{"job":i,"error":{...}}`.
+pub fn render_job_error(i: usize, err: &JobError) -> String {
+    Json::Obj(vec![
+        ("job".into(), Json::U64(i as u64)),
+        ("error".into(), err.to_wire()),
+    ])
+    .render()
+}
+
+/// Renders the batch terminator: `{"done":N}` where `N` is the number of
+/// jobs the batch carried (and thus of per-job lines written before it).
+pub fn render_done(jobs: usize) -> String {
+    Json::Obj(vec![("done".into(), Json::U64(jobs as u64))]).render()
+}
+
+/// Renders the top-level error line for an unparseable request.
+pub fn render_request_error(err: &JobError) -> String {
+    Json::Obj(vec![("error".into(), err.to_wire())]).render()
+}
+
+/// Renders the ping response: `{"ok":true}`.
+pub fn render_pong() -> String {
+    Json::Obj(vec![("ok".into(), Json::Bool(true))]).render()
+}
+
+/// Renders the shutdown acknowledgement: `{"bye":true}`.
+pub fn render_bye() -> String {
+    Json::Obj(vec![("bye".into(), Json::Bool(true))]).render()
+}
+
+/// If `line` is a batch terminator, the job count it carries. Clients use
+/// this to know a batch's responses are complete.
+pub fn done_count(line: &str) -> Option<u64> {
+    parse(line).ok()?.get("done")?.as_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_flattened_to_one_line() {
+        let err = JobError::new("verify", "line one\nline two\twith tab\r\n");
+        assert_eq!(err.reason, "line one; line two with tab; ");
+        let rendered = render_request_error(&err);
+        assert!(!rendered.contains('\n'), "{rendered}");
+        let back = parse(&rendered).expect("response line parses");
+        assert_eq!(
+            back.get("error")
+                .and_then(|e| e.get("stage"))
+                .and_then(Json::as_str),
+            Some("verify")
+        );
+    }
+
+    #[test]
+    fn commands_parse_and_unknown_ones_do_not() {
+        assert!(matches!(
+            parse_request(r#"{"cmd":"ping"}"#),
+            Ok(Request::Ping)
+        ));
+        assert!(matches!(
+            parse_request(r#"{"cmd":"metrics"}"#),
+            Ok(Request::Metrics)
+        ));
+        assert!(matches!(
+            parse_request(r#"{"cmd":"shutdown"}"#),
+            Ok(Request::Shutdown)
+        ));
+        assert_eq!(
+            parse_request(r#"{"cmd":"warp"}"#).unwrap_err().stage,
+            "request"
+        );
+        assert_eq!(parse_request(r#"{"cmd":7}"#).unwrap_err().stage, "request");
+    }
+
+    #[test]
+    fn done_lines_are_recognized() {
+        assert_eq!(done_count(&render_done(3)), Some(3));
+        assert_eq!(done_count(r#"{"job":0,"result":{}}"#), None);
+        assert_eq!(done_count("not json"), None);
+    }
+}

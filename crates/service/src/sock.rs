@@ -1,0 +1,156 @@
+//! Transport plumbing: one listener/stream pair spanning TCP and Unix
+//! domain sockets, so the daemon, the client, and every test speak the
+//! same protocol over either.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Where a daemon listens (or a client connects).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Bind {
+    /// A TCP address, e.g. `127.0.0.1:7814` (or `:0` for an ephemeral
+    /// port — read the bound address back from `Server::addr`).
+    Tcp(String),
+    /// A Unix domain socket path.
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+impl Bind {
+    /// A TCP bind target.
+    pub fn tcp(addr: impl Into<String>) -> Self {
+        Bind::Tcp(addr.into())
+    }
+
+    /// A Unix-socket bind target.
+    #[cfg(unix)]
+    pub fn unix(path: impl Into<PathBuf>) -> Self {
+        Bind::Unix(path.into())
+    }
+}
+
+/// A listener over either transport.
+pub(crate) enum AnyListener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener, PathBuf),
+}
+
+impl AnyListener {
+    pub(crate) fn bind(bind: &Bind) -> io::Result<Self> {
+        match bind {
+            Bind::Tcp(addr) => Ok(AnyListener::Tcp(TcpListener::bind(addr)?)),
+            #[cfg(unix)]
+            Bind::Unix(path) => {
+                // A stale socket file from a dead daemon would make bind
+                // fail forever; remove it (connect-refused distinguishes
+                // stale from live only with a probe, which a single-user
+                // results directory does not warrant).
+                let _ = std::fs::remove_file(path);
+                Ok(AnyListener::Unix(UnixListener::bind(path)?, path.clone()))
+            }
+        }
+    }
+
+    pub(crate) fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        match self {
+            AnyListener::Tcp(l) => l.set_nonblocking(nb),
+            #[cfg(unix)]
+            AnyListener::Unix(l, _) => l.set_nonblocking(nb),
+        }
+    }
+
+    /// The rendered local address: `host:port` for TCP (with any
+    /// ephemeral port resolved), the path for Unix.
+    pub(crate) fn addr(&self) -> String {
+        match self {
+            AnyListener::Tcp(l) => l
+                .local_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|_| "<unbound>".into()),
+            #[cfg(unix)]
+            AnyListener::Unix(_, path) => path.display().to_string(),
+        }
+    }
+
+    pub(crate) fn accept(&self) -> io::Result<AnyStream> {
+        match self {
+            AnyListener::Tcp(l) => l.accept().map(|(s, _)| AnyStream::Tcp(s)),
+            #[cfg(unix)]
+            AnyListener::Unix(l, _) => l.accept().map(|(s, _)| AnyStream::Unix(s)),
+        }
+    }
+
+    /// Removes the socket file of a Unix listener (no-op for TCP).
+    pub(crate) fn cleanup(&self) {
+        #[cfg(unix)]
+        if let AnyListener::Unix(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// A connected stream over either transport.
+pub(crate) enum AnyStream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl AnyStream {
+    pub(crate) fn connect(bind: &Bind) -> io::Result<Self> {
+        match bind {
+            Bind::Tcp(addr) => Ok(AnyStream::Tcp(TcpStream::connect(addr)?)),
+            #[cfg(unix)]
+            Bind::Unix(path) => Ok(AnyStream::Unix(UnixStream::connect(path)?)),
+        }
+    }
+
+    pub(crate) fn try_clone(&self) -> io::Result<Self> {
+        match self {
+            AnyStream::Tcp(s) => s.try_clone().map(AnyStream::Tcp),
+            #[cfg(unix)]
+            AnyStream::Unix(s) => s.try_clone().map(AnyStream::Unix),
+        }
+    }
+
+    pub(crate) fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        match self {
+            AnyStream::Tcp(s) => s.set_read_timeout(dur),
+            #[cfg(unix)]
+            AnyStream::Unix(s) => s.set_read_timeout(dur),
+        }
+    }
+}
+
+impl Read for AnyStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            AnyStream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            AnyStream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for AnyStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            AnyStream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            AnyStream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            AnyStream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            AnyStream::Unix(s) => s.flush(),
+        }
+    }
+}

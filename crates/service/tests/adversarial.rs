@@ -1,0 +1,202 @@
+//! Adversarial request handling: malformed and hostile input must come
+//! back as structured single-line errors — never a panic, and never
+//! collateral damage to well-formed sibling jobs in the same batch.
+
+use ruche_noc::geometry::Dims;
+use ruche_noc::topology::NetworkConfig;
+use ruche_service::{respond, Control, Engine};
+use ruche_telemetry::json::{parse, Json};
+use ruche_traffic::{Pattern, SweepRequest, Testbench};
+
+fn quick(rate: f64) -> Testbench {
+    Testbench::builder(Pattern::UniformRandom, rate)
+        .quick()
+        .build()
+        .expect("valid testbench")
+}
+
+/// Runs one request line through a fresh engine, collecting responses.
+fn run_line(engine: &Engine, line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let control = respond(engine, line, &mut |l| out.push(l.to_string()));
+    assert_eq!(control, Control::Continue);
+    out
+}
+
+/// The `"error"` object of a response line, as `(stage, reason)`.
+fn error_of(line: &str) -> Option<(String, String)> {
+    let v = parse(line).ok()?;
+    let err = v.get("error")?;
+    Some((
+        err.get("stage")?.as_str()?.to_string(),
+        err.get("reason")?.as_str()?.to_string(),
+    ))
+}
+
+#[test]
+fn garbage_lines_get_one_structured_error_each() {
+    let engine = Engine::new(1);
+    let garbage = [
+        "{",
+        "}",
+        "null",
+        "42",
+        "\"a string\"",
+        "[1,2,3]",
+        "{}",
+        r#"{"cmd":"warp"}"#,
+        r#"{"cmd":7}"#,
+        r#"{"jobs":{}}"#,
+        r#"{"jobs":[]}"#,
+        r#"{"jobs":"many"}"#,
+        r#"{"jobs":[{"key_version":1}],"per_tile":"yes"}"#,
+        "\u{1}\u{2}binary\u{3}",
+        "{\"jobs\":[",
+    ];
+    for line in garbage {
+        let out = run_line(&engine, line);
+        assert_eq!(out.len(), 1, "exactly one error line for {line:?}");
+        let (stage, reason) = error_of(&out[0]).expect("structured error");
+        assert_eq!(stage, "request", "{line:?}");
+        assert!(!reason.is_empty());
+        assert!(!out[0].contains('\n'), "single-line response");
+    }
+    // Blank lines are ignored outright.
+    assert!(run_line(&engine, "").is_empty());
+    assert!(run_line(&engine, "   ").is_empty());
+}
+
+#[test]
+fn a_malformed_job_never_disturbs_its_siblings() {
+    let engine = Engine::new(2);
+    let good_a = SweepRequest::new(NetworkConfig::mesh(Dims::new(4, 4)), quick(0.05));
+    let good_b = SweepRequest::new(NetworkConfig::mesh(Dims::new(4, 4)), quick(0.1));
+    let line = Json::Obj(vec![(
+        "jobs".into(),
+        Json::Arr(vec![
+            good_a.to_wire(),
+            parse(r#"{"key_version":1,"config":{"dims":{"cols":"wide"}}}"#).unwrap(),
+            good_b.to_wire(),
+        ]),
+    )])
+    .render();
+
+    let out = run_line(&engine, &line);
+    assert_eq!(out.len(), 4, "three job lines plus the terminator");
+    for (i, resp) in out.iter().take(3).enumerate() {
+        let v = parse(resp).expect("response parses");
+        assert_eq!(v.get("job").and_then(Json::as_u64), Some(i as u64));
+    }
+    assert!(
+        parse(&out[0]).unwrap().get("result").is_some(),
+        "{}",
+        out[0]
+    );
+    let (stage, reason) = error_of(&out[1]).expect("middle job rejected");
+    assert_eq!(stage, "request");
+    assert!(reason.contains("cols"), "names the field: {reason}");
+    assert!(
+        parse(&out[2]).unwrap().get("result").is_some(),
+        "{}",
+        out[2]
+    );
+    assert_eq!(out[3], r#"{"done":3}"#);
+
+    let m = engine.metrics();
+    assert_eq!(m.jobs(), 3);
+    assert_eq!(m.rejected(), 1);
+    assert_eq!(m.simulated(), 2);
+}
+
+#[test]
+fn screening_stages_are_named_in_rejections() {
+    let engine = Engine::new(1);
+    let cases: Vec<(Json, &str)> = vec![
+        // fifo_depth 0 decodes but fails NetworkConfig::validate.
+        (
+            SweepRequest::new(
+                NetworkConfig::mesh(Dims::new(4, 4)).with_fifo_depth(0),
+                quick(0.1),
+            )
+            .to_wire(),
+            "config",
+        ),
+        // Injection rate above 1.0 decodes but fails Testbench::validate.
+        (
+            parse(
+                r#"{"key_version":1,
+                    "config":{"dims":{"cols":4,"rows":4},"topology":{"kind":"mesh"}},
+                    "testbench":{"pattern":{"kind":"uniform-random"},"injection_rate":7.5}}"#,
+            )
+            .unwrap(),
+            "testbench",
+        ),
+        // A hotspot outside the array decodes but fails Pattern::validate.
+        (
+            parse(
+                r#"{"key_version":1,
+                    "config":{"dims":{"cols":4,"rows":4},"topology":{"kind":"mesh"}},
+                    "testbench":{"pattern":{"kind":"hotspot","x":40,"y":40},
+                                 "injection_rate":0.1}}"#,
+            )
+            .unwrap(),
+            "pattern",
+        ),
+        // An out-of-bounds dead router decodes but fails FaultModel::validate.
+        (
+            parse(
+                r#"{"key_version":1,
+                    "config":{"dims":{"cols":4,"rows":4},"topology":{"kind":"mesh"}},
+                    "testbench":{"pattern":{"kind":"uniform-random"},"injection_rate":0.1,
+                                 "faults":{"dead_routers":[{"x":9,"y":9}]}}}"#,
+            )
+            .unwrap(),
+            "faults",
+        ),
+    ];
+    for (wire, want_stage) in cases {
+        let line = Json::Obj(vec![("jobs".into(), Json::Arr(vec![wire]))]).render();
+        let out = run_line(&engine, &line);
+        assert_eq!(out.len(), 2, "error line plus terminator");
+        let (stage, _) = error_of(&out[0]).expect("rejected");
+        assert_eq!(stage, want_stage, "{}", out[0]);
+    }
+    assert_eq!(engine.metrics().rejected(), 4);
+    assert_eq!(engine.metrics().simulated(), 0, "nothing ever simulated");
+}
+
+#[test]
+fn verifier_reports_flatten_onto_one_line() {
+    // Whatever multi-line report a screening stage produces, the response
+    // must stay line-framed: one response per job, no embedded newlines.
+    let engine = Engine::new(1);
+    let bad = SweepRequest::new(
+        NetworkConfig::mesh(Dims::new(4, 4)).with_fifo_depth(0),
+        quick(0.1),
+    );
+    let line = Json::Obj(vec![("jobs".into(), Json::Arr(vec![bad.to_wire()]))]).render();
+    for resp in run_line(&engine, &line) {
+        assert!(!resp.contains('\n'), "{resp:?}");
+        parse(&resp).expect("every response line is valid JSON");
+    }
+}
+
+#[test]
+fn per_tile_batches_carry_their_accumulators() {
+    let engine = Engine::new(1);
+    let req = SweepRequest::new(NetworkConfig::mesh(Dims::new(4, 4)), quick(0.05));
+    let line = Json::Obj(vec![
+        ("jobs".into(), Json::Arr(vec![req.to_wire()])),
+        ("per_tile".into(), Json::Bool(true)),
+    ])
+    .render();
+    let out = run_line(&engine, &line);
+    assert_eq!(out.len(), 2);
+    let v = parse(&out[0]).unwrap();
+    let tiles = v
+        .get("result")
+        .and_then(|r| r.get("per_tile_latency"))
+        .and_then(Json::as_arr)
+        .expect("per-tile array present");
+    assert_eq!(tiles.len(), 16, "one accumulator per tile of the 4x4");
+}

@@ -1,0 +1,249 @@
+//! End-to-end contracts of the service daemon:
+//!
+//! * daemon responses are byte-identical to the offline `respond` path,
+//! * a verifier-rejected job fails fast without disturbing siblings,
+//! * concurrent identical batches share one simulation (metrics prove it),
+//! * shutdown is clean (the accept loop returns, threads join).
+
+use ruche_bench::{ResultStore, SweepJob, SweepRunner};
+use ruche_noc::geometry::Dims;
+use ruche_noc::topology::NetworkConfig;
+use ruche_service::{respond, Bind, Client, Engine, Server};
+use ruche_telemetry::json::{parse, Json};
+use ruche_traffic::{Pattern, SweepRequest, Testbench};
+use std::path::PathBuf;
+use std::sync::{Arc, Barrier};
+
+fn quick(rate: f64) -> Testbench {
+    Testbench::builder(Pattern::UniformRandom, rate)
+        .quick()
+        .build()
+        .expect("valid testbench")
+}
+
+fn batch_line(reqs: &[SweepRequest]) -> String {
+    Json::Obj(vec![(
+        "jobs".into(),
+        Json::Arr(reqs.iter().map(SweepRequest::to_wire).collect()),
+    )])
+    .render()
+}
+
+/// Collects the offline response lines for one request line.
+fn offline_lines(engine: &Engine, line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    respond(engine, line, &mut |l| out.push(l.to_string()));
+    out
+}
+
+/// A fresh scratch directory per test case (no tempfile dependency).
+fn scratch(case: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ruche-service-{}-{case}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Boots a daemon on an ephemeral TCP port; returns its bind target and
+/// the thread driving `Server::run`.
+fn boot(engine: Engine) -> (Bind, std::thread::JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind(&Bind::tcp("127.0.0.1:0"), engine).expect("bind ephemeral port");
+    let bind = Bind::tcp(server.addr());
+    (bind, std::thread::spawn(move || server.run()))
+}
+
+#[test]
+fn daemon_responses_are_byte_identical_to_the_offline_path() {
+    let reqs = [
+        SweepRequest::new(NetworkConfig::mesh(Dims::new(4, 4)), quick(0.05)),
+        SweepRequest::new(NetworkConfig::torus(Dims::new(4, 4)), quick(0.1)),
+    ];
+    let line = batch_line(&reqs);
+
+    let offline = offline_lines(&Engine::new(2), &line);
+
+    let (bind, server) = boot(Engine::new(2));
+    let mut client = Client::connect(&bind).expect("connect");
+    let online = client.submit(&line).expect("submit");
+    client.shutdown().expect("clean shutdown");
+    server.join().expect("no panic").expect("accept loop ok");
+
+    assert_eq!(offline, online, "daemon and offline output diverge");
+    assert_eq!(online.last().map(String::as_str), Some(r#"{"done":2}"#));
+}
+
+#[test]
+fn daemon_payloads_match_the_repro_sweep_engine_byte_for_byte() {
+    // The acceptance bar: a batch answered by the daemon must carry the
+    // same results as running the identical sweep through `SweepRunner`,
+    // the engine `repro` drives.
+    let reqs = [
+        SweepRequest::new(NetworkConfig::mesh(Dims::new(4, 4)), quick(0.05)),
+        SweepRequest::new(NetworkConfig::torus(Dims::new(4, 4)), quick(0.1)),
+    ];
+    let jobs: Vec<SweepJob> = reqs
+        .iter()
+        .map(|r| SweepJob::new(r.cfg.clone(), r.tb.clone()))
+        .collect();
+    let direct = SweepRunner::uncached(1).run_all(&jobs);
+
+    let (bind, server) = boot(Engine::new(1));
+    let mut client = Client::connect(&bind).expect("connect");
+    let online = client.submit(&batch_line(&reqs)).expect("submit");
+    client.shutdown().expect("clean shutdown");
+    server.join().expect("no panic").expect("accept loop ok");
+
+    for (i, res) in direct.iter().enumerate() {
+        // Scalar sweeps scrub per-tile accumulators (exactly what the
+        // store persists and repro's tables consume).
+        let scrubbed = ruche_traffic::TbResult {
+            per_tile_latency: Vec::new(),
+            ..res.clone()
+        };
+        let payload = parse(&online[i]).expect("response parses");
+        assert_eq!(
+            payload.get("result").map(Json::render),
+            Some(scrubbed.to_wire().render()),
+            "job {i} diverges from the repro sweep path"
+        );
+    }
+}
+
+#[test]
+fn a_rejected_job_fails_fast_without_disturbing_siblings() {
+    let good = SweepRequest::new(NetworkConfig::mesh(Dims::new(4, 4)), quick(0.05));
+    let rejected = SweepRequest::new(
+        NetworkConfig::mesh(Dims::new(4, 4)).with_fifo_depth(0),
+        quick(0.05),
+    );
+    let sibling = SweepRequest::new(NetworkConfig::mesh(Dims::new(4, 4)), quick(0.1));
+    let line = batch_line(&[good, rejected, sibling]);
+
+    let (bind, server) = boot(Engine::new(2));
+    let mut client = Client::connect(&bind).expect("connect");
+    let out = client.submit(&line).expect("submit");
+    let metrics = client.metrics().expect("metrics");
+    client.shutdown().expect("clean shutdown");
+    server.join().expect("no panic").expect("accept loop ok");
+
+    assert_eq!(out.len(), 4);
+    assert!(
+        parse(&out[0]).unwrap().get("result").is_some(),
+        "{}",
+        out[0]
+    );
+    let err = parse(&out[1]).unwrap();
+    assert_eq!(err.get("job").and_then(Json::as_u64), Some(1));
+    assert_eq!(
+        err.get("error")
+            .and_then(|e| e.get("stage"))
+            .and_then(Json::as_str),
+        Some("config"),
+        "{}",
+        out[1]
+    );
+    assert!(
+        parse(&out[2]).unwrap().get("result").is_some(),
+        "{}",
+        out[2]
+    );
+    assert_eq!(out[3], r#"{"done":3}"#);
+
+    let m = parse(&metrics).unwrap();
+    let counter = |name: &str| {
+        m.get("metrics")
+            .and_then(|v| v.get(name))
+            .and_then(Json::as_u64)
+    };
+    assert_eq!(counter("rejected"), Some(1));
+    assert_eq!(counter("simulated"), Some(2));
+}
+
+#[test]
+fn concurrent_identical_batches_share_one_simulation() {
+    let store = Arc::new(ResultStore::open(scratch("dedup")));
+    let engine = Arc::new(Engine::new(1).with_store(store));
+    let line = batch_line(&[
+        SweepRequest::new(NetworkConfig::mesh(Dims::new(4, 4)), quick(0.05)),
+        SweepRequest::new(NetworkConfig::mesh(Dims::new(4, 4)), quick(0.08)),
+    ]);
+
+    let barrier = Barrier::new(2);
+    let outputs: Vec<Vec<String>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let engine = &engine;
+                let barrier = &barrier;
+                let line = &line;
+                s.spawn(move || {
+                    barrier.wait();
+                    offline_lines(engine, line)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no panic"))
+            .collect()
+    });
+
+    assert_eq!(outputs[0], outputs[1], "both clients see identical lines");
+    let m = engine.metrics();
+    assert_eq!(m.jobs(), 4);
+    assert_eq!(m.simulated(), 2, "each distinct job simulated exactly once");
+    assert_eq!(
+        m.store_hits() + m.inflight_joins(),
+        2,
+        "the second batch was served from dedup or the store, not re-simulated"
+    );
+
+    // A third, sequential submission is pure store hits.
+    let before_hits = m.store_hits();
+    let again = offline_lines(&engine, &line);
+    assert_eq!(again, outputs[0]);
+    assert_eq!(m.simulated(), 2, "still no re-simulation");
+    assert_eq!(m.store_hits(), before_hits + 2);
+}
+
+#[test]
+fn identical_jobs_within_one_batch_deduplicate_too() {
+    let engine = Engine::new(2);
+    let req = SweepRequest::new(NetworkConfig::mesh(Dims::new(4, 4)), quick(0.05));
+    let line = batch_line(&[req.clone(), req]);
+    let out = offline_lines(&engine, &line);
+    assert_eq!(out.len(), 3);
+    // Same job, same result bytes, distinct job indices.
+    let strip = |l: &str| l.split_once(',').map(|(_, rest)| rest.to_string());
+    assert_eq!(strip(&out[0]), strip(&out[1]));
+    assert_eq!(engine.metrics().simulated(), 1);
+    assert_eq!(engine.metrics().inflight_joins(), 1);
+}
+
+#[test]
+fn malformed_lines_leave_the_connection_usable() {
+    let (bind, server) = boot(Engine::new(1));
+    let mut client = Client::connect(&bind).expect("connect");
+    client.send("utter { garbage").expect("send");
+    let err = client.recv().expect("error response");
+    assert!(
+        parse(&err).unwrap().get("error").is_some(),
+        "structured error: {err}"
+    );
+    assert!(client.ping().expect("ping after garbage"), "still serving");
+    client.shutdown().expect("clean shutdown");
+    server.join().expect("no panic").expect("accept loop ok");
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_transport_speaks_the_same_protocol() {
+    let path = scratch("unix").join("ruche-service.sock");
+    let server = Server::bind(&Bind::unix(&path), Engine::new(1)).expect("bind unix socket");
+    let bind = Bind::unix(&path);
+    let handle = std::thread::spawn(move || server.run());
+    let mut client = Client::connect(&bind).expect("connect over unix socket");
+    assert!(client.ping().expect("ping"));
+    client.shutdown().expect("clean shutdown");
+    handle.join().expect("no panic").expect("accept loop ok");
+    assert!(!path.exists(), "socket file swept on shutdown");
+}

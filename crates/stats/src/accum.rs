@@ -104,6 +104,27 @@ impl Accum {
     pub fn sum(&self) -> f64 {
         self.mean() * self.count as f64
     }
+
+    /// The raw internal state `(count, mean, m2, min, max)`, for exact
+    /// serialization. [`Accum::from_parts`] reconstructs a bit-identical
+    /// accumulator; the pair is how the service wire codec round-trips
+    /// per-tile statistics without losing Welford precision.
+    pub fn to_parts(&self) -> (u64, f64, f64, f64, f64) {
+        (self.count, self.mean, self.m2, self.min, self.max)
+    }
+
+    /// Rebuilds an accumulator from [`Accum::to_parts`] output. The parts
+    /// are trusted verbatim — this is a serialization escape hatch, not a
+    /// constructor for hand-made statistics.
+    pub fn from_parts(count: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        Accum {
+            count,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
 }
 
 impl Extend<f64> for Accum {

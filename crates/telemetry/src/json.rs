@@ -2,23 +2,58 @@
 //!
 //! Telemetry blobs must be byte-identical across runs and platforms, so the
 //! codec is intentionally narrow: objects, arrays, strings (no escapes
-//! beyond `\"` and `\\`), and unsigned 64-bit integers. Keys are written in
-//! the order the caller supplies them; [`crate::JsonProbe`] supplies them
-//! sorted.
+//! beyond `\"` and `\\`), unsigned 64-bit integers, booleans, and — for the
+//! service wire API — 64-bit floats. Keys are written in the order the
+//! caller supplies them; [`crate::JsonProbe`] supplies them sorted.
+//!
+//! Floats render in Rust's shortest-roundtrip decimal form (always with a
+//! `.` or exponent so they re-parse as floats, never as integers), which
+//! makes `parse(render(v)) == v` hold **bit-exactly** — the property the
+//! versioned wire types (`TbResult`, `SweepRequest`) pin in tests. The
+//! non-finite values have no JSON spelling, so the writer emits the
+//! conventional extended tokens `NaN`, `Infinity`, and `-Infinity` (the
+//! same extension Python's `json` module uses), and the parser accepts
+//! them.
 
 use std::fmt;
 
 /// A JSON value in the subset the telemetry codec uses.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Equality is **bit-exact**: two [`Json::F64`] values compare equal iff
+/// their IEEE-754 bit patterns do (so `NaN == NaN` here, and `0.0 != -0.0`)
+/// — the right notion for a codec whose contract is byte-identical
+/// round-trips, and the reason this type implements `PartialEq` manually
+/// instead of deriving it.
+#[derive(Debug, Clone)]
 pub enum Json {
     /// An unsigned integer (the only number kind telemetry emits).
     U64(u64),
+    /// A double-precision float (used by the service wire types; rendered
+    /// in shortest-roundtrip form, always distinguishable from [`Json::U64`]
+    /// by a `.`, exponent, or non-finite token).
+    F64(f64),
+    /// A boolean.
+    Bool(bool),
     /// A string.
     Str(String),
     /// An array.
     Arr(Vec<Json>),
     /// An object; pairs keep the order they were inserted in.
     Obj(Vec<(String, Json)>),
+}
+
+impl PartialEq for Json {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Json::U64(a), Json::U64(b)) => a == b,
+            (Json::F64(a), Json::F64(b)) => a.to_bits() == b.to_bits(),
+            (Json::Bool(a), Json::Bool(b)) => a == b,
+            (Json::Str(a), Json::Str(b)) => a == b,
+            (Json::Arr(a), Json::Arr(b)) => a == b,
+            (Json::Obj(a), Json::Obj(b)) => a == b,
+            _ => false,
+        }
+    }
 }
 
 impl Json {
@@ -34,6 +69,32 @@ impl Json {
     pub fn as_u64(&self) -> Option<u64> {
         match self {
             Json::U64(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The float value: a [`Json::F64`] as-is, or a [`Json::U64`] converted
+    /// (clients may legitimately write `3` where the schema says float).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::F64(x) => Some(*x),
+            Json::U64(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
             _ => None,
         }
     }
@@ -64,6 +125,8 @@ impl Json {
                 use fmt::Write;
                 write!(out, "{n}").expect("write to String");
             }
+            Json::F64(x) => write_f64(out, *x),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             Json::Str(s) => write_str(out, s),
             Json::Arr(items) => {
                 out.push('[');
@@ -88,6 +151,27 @@ impl Json {
                 out.push('}');
             }
         }
+    }
+}
+
+/// Writes `x` in shortest-roundtrip decimal form. A finite value always
+/// carries a `.` (or an exponent the formatter chose), so the parser maps
+/// it back to [`Json::F64`] rather than [`Json::U64`]; non-finite values
+/// use the extended `NaN` / `Infinity` / `-Infinity` tokens.
+fn write_f64(out: &mut String, x: f64) {
+    if x.is_nan() {
+        out.push_str("NaN");
+        return;
+    }
+    if x.is_infinite() {
+        out.push_str(if x > 0.0 { "Infinity" } else { "-Infinity" });
+        return;
+    }
+    use fmt::Write;
+    let start = out.len();
+    write!(out, "{x}").expect("write to String");
+    if !out[start..].contains(['.', 'e', 'E']) {
+        out.push_str(".0");
     }
 }
 
@@ -161,6 +245,15 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
         Some(b'{') => parse_obj(b, pos),
         Some(b'[') => parse_arr(b, pos),
         Some(b'"') => Ok(Json::Str(parse_str(b, pos)?)),
+        Some(b't') => parse_word(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_word(b, pos, "false", Json::Bool(false)),
+        Some(b'N') => parse_word(b, pos, "NaN", Json::F64(f64::NAN)),
+        Some(b'I') => parse_word(b, pos, "Infinity", Json::F64(f64::INFINITY)),
+        Some(b'-') if b.get(*pos + 1) == Some(&b'I') => {
+            *pos += 1;
+            parse_word(b, pos, "Infinity", Json::F64(f64::NEG_INFINITY))
+        }
+        Some(b'-') => parse_num(b, pos),
         Some(c) if c.is_ascii_digit() => parse_num(b, pos),
         _ => Err(JsonError {
             at: *pos,
@@ -169,20 +262,62 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
     }
 }
 
+/// Consumes the literal `word`, yielding `value`.
+fn parse_word(
+    b: &[u8],
+    pos: &mut usize,
+    word: &'static str,
+    value: Json,
+) -> Result<Json, JsonError> {
+    if b[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(JsonError {
+            at: *pos,
+            expected: "a value",
+        })
+    }
+}
+
+/// Parses a number: a plain run of digits is a [`Json::U64`]; anything
+/// carrying a sign, decimal point, or exponent is a [`Json::F64`].
 fn parse_num(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
     let start = *pos;
-    let mut n: u64 = 0;
-    while let Some(c) = b.get(*pos).filter(|c| c.is_ascii_digit()) {
-        n = n
-            .checked_mul(10)
-            .and_then(|n| n.checked_add((c - b'0') as u64))
-            .ok_or(JsonError {
-                at: start,
-                expected: "an integer fitting u64",
-            })?;
+    if b.get(*pos) == Some(&b'-') {
         *pos += 1;
     }
-    Ok(Json::U64(n))
+    let mut seen_digit = false;
+    let mut float = *pos > start; // a leading '-' forces the float path
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'0'..=b'9' => seen_digit = true,
+            b'.' | b'e' | b'E' | b'+' => float = true,
+            b'-' if float => {} // exponent sign, e.g. 1e-3
+            _ => break,
+        }
+        *pos += 1;
+    }
+    if !seen_digit {
+        return Err(JsonError {
+            at: start,
+            expected: "a number",
+        });
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| JsonError {
+        at: start,
+        expected: "an ASCII number",
+    })?;
+    if float {
+        return text.parse::<f64>().map(Json::F64).map_err(|_| JsonError {
+            at: start,
+            expected: "a float",
+        });
+    }
+    text.parse::<u64>().map(Json::U64).map_err(|_| JsonError {
+        at: start,
+        expected: "an integer fitting u64",
+    })
 }
 
 fn parse_str(b: &[u8], pos: &mut usize) -> Result<String, JsonError> {
@@ -356,8 +491,63 @@ mod tests {
         assert!(parse("18446744073709551616").is_err()); // u64::MAX + 1
         assert!(parse("{\"a\":1} trailing").is_err());
         assert!(parse("[1,]").is_err());
-        assert!(parse("-1").is_err());
         assert!(parse("").is_err());
+        assert!(parse("truth").is_err());
+        assert!(parse("1.2.3").is_err());
+        assert!(parse("-").is_err());
+        assert!(parse("Inf").is_err());
+    }
+
+    #[test]
+    fn floats_roundtrip_bit_exactly() {
+        for x in [
+            0.0,
+            -0.0,
+            1.0,
+            -1.5,
+            0.1,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            f64::MIN_POSITIVE / 8.0, // subnormal
+            f64::MAX,
+            f64::MIN,
+            1e-300,
+            6.25,
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        ] {
+            let rendered = Json::F64(x).render();
+            let back = parse(&rendered).unwrap_or_else(|e| panic!("{rendered}: {e}"));
+            assert_eq!(back, Json::F64(x), "{rendered}");
+            // Render → parse → render is a fixed point (byte-identical).
+            assert_eq!(back.render(), rendered);
+        }
+    }
+
+    #[test]
+    fn finite_floats_never_collide_with_integers() {
+        // A whole-valued float renders with a trailing `.0`, so the parser
+        // can always reconstruct which variant wrote it.
+        assert_eq!(Json::F64(7.0).render(), "7.0");
+        assert_eq!(parse("7.0").unwrap(), Json::F64(7.0));
+        assert_eq!(parse("7").unwrap(), Json::U64(7));
+        assert_eq!(Json::F64(-0.0).render(), "-0.0");
+        assert_ne!(parse("-0.0").unwrap(), Json::F64(0.0), "signed zero kept");
+    }
+
+    #[test]
+    fn bools_and_negative_numbers_parse() {
+        assert_eq!(parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(parse("-1").unwrap(), Json::F64(-1.0));
+        assert_eq!(parse("1e-3").unwrap(), Json::F64(1e-3));
+        assert_eq!(parse("2.5e10").unwrap(), Json::F64(2.5e10));
+        // Integer-typed schema slots tolerate float-typed zero from clients.
+        assert_eq!(parse("3").unwrap().as_f64(), Some(3.0));
+        assert_eq!(parse("true").unwrap().as_bool(), Some(true));
+        assert_eq!(parse("\"hi\"").unwrap().as_str(), Some("hi"));
     }
 
     #[test]

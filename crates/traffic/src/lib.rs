@@ -27,6 +27,7 @@
 pub mod error;
 pub mod pattern;
 pub mod testbench;
+pub mod wire;
 
 pub use error::TrafficError;
 pub use pattern::{Pattern, PatternError};
@@ -34,3 +35,4 @@ pub use testbench::{
     latency_curve, run, run_probed, saturation_throughput, zero_load_latency, CurvePoint, TbResult,
     Testbench, TestbenchBuilder,
 };
+pub use wire::SweepRequest;

@@ -236,7 +236,11 @@ impl From<Testbench> for TestbenchBuilder {
 }
 
 /// Results of one testbench run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `TbResult` is also the service's versioned per-job response payload:
+/// see [`TbResult::VERSION`](crate::wire) and the exact JSON round-trip
+/// codec in [`crate::wire`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TbResult {
     /// Offered load (packets/tile/cycle).
     pub offered: f64,

@@ -8,6 +8,12 @@
 //!
 //! Prints the latency/throughput of one run, or a latency curve with
 //! `--sweep`.
+//!
+//! The service subcommands — `ruche-sim serve` (long-lived sweep
+//! daemon), `ruche-sim submit` (client), and `ruche-sim eval` (offline
+//! evaluation of the same batch files) — are documented in
+//! `docs/SERVICE.md` and dispatched to [`ruche::serve`] before the
+//! flat-argument simulator CLI parses anything.
 
 use ruche::noc::prelude::*;
 use ruche::stats::AsciiPlot;
@@ -93,6 +99,10 @@ fn parse_args() -> Args {
 }
 
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(cmd @ ("serve" | "submit" | "eval")) = argv.first().map(String::as_str) {
+        std::process::exit(ruche::serve::dispatch(cmd, &argv[1..]));
+    }
     let a = parse_args();
     let cfg = match a.topology.as_str() {
         "mesh" => NetworkConfig::mesh(a.size),

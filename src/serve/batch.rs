@@ -1,0 +1,110 @@
+//! Turns batch files into protocol lines.
+//!
+//! Three input shapes are accepted, all normalised to one compact JSON
+//! line per request (the protocol is line-framed):
+//!
+//! * **JSONL** — one request object per line, the protocol's native form.
+//! * **One whole-file JSON object** — pretty-printed batches; field
+//!   order and whitespace are free because cache keys derive from the
+//!   canonical re-rendering, not the file bytes.
+//! * **A bare array of sweep requests** — wrapped into `{"jobs":[...]}`.
+//!
+//! Lines that do not parse are forwarded untouched so the daemon's
+//! structured `request` error comes back through the normal protocol
+//! path instead of being swallowed client-side.
+
+use ruche_telemetry::json::{parse, Json};
+use std::io::{self, Read};
+use std::path::Path;
+
+/// Reads a batch file (or stdin when `file` is `None`) and returns the
+/// protocol lines to send.
+///
+/// # Errors
+///
+/// An [`io::Error`] if the file or stdin cannot be read.
+pub fn request_lines(file: Option<&Path>) -> io::Result<Vec<String>> {
+    let text = match file {
+        Some(path) => std::fs::read_to_string(path)?,
+        None => {
+            let mut buf = String::new();
+            io::stdin().read_to_string(&mut buf)?;
+            buf
+        }
+    };
+    Ok(lines_from(&text))
+}
+
+/// The pure core of [`request_lines`]: normalises raw batch text into
+/// protocol lines.
+pub fn lines_from(text: &str) -> Vec<String> {
+    // A single JSON value spanning the whole input (the parser rejects
+    // trailing content, so multi-line JSONL cannot be mistaken for one).
+    if let Ok(v) = parse(text) {
+        return vec![compact(v)];
+    }
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .map(|l| match parse(l) {
+            Ok(v) => compact(v),
+            Err(_) => l.to_string(),
+        })
+        .collect()
+}
+
+/// Is this line a batch (streams many response lines) rather than a
+/// single-response command? Unparseable lines count as batches: the
+/// daemon answers them with one top-level error, which the batch reader
+/// treats as a terminator.
+pub fn is_batch(line: &str) -> bool {
+    match parse(line) {
+        Ok(v) => v.get("cmd").is_none(),
+        Err(_) => true,
+    }
+}
+
+fn compact(v: Json) -> String {
+    match v {
+        Json::Arr(jobs) => Json::Obj(vec![("jobs".into(), Json::Arr(jobs))]).render(),
+        other => other.render(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whole_file_json_collapses_to_one_line() {
+        let lines = lines_from("{\n  \"jobs\": [\n    {\"key_version\": 1}\n  ]\n}\n");
+        assert_eq!(lines, vec![r#"{"jobs":[{"key_version":1}]}"#.to_string()]);
+    }
+
+    #[test]
+    fn bare_arrays_become_a_batch() {
+        let lines = lines_from("[\n  {\"key_version\": 1}\n]");
+        assert_eq!(lines, vec![r#"{"jobs":[{"key_version":1}]}"#.to_string()]);
+    }
+
+    #[test]
+    fn jsonl_keeps_one_line_per_request() {
+        let lines = lines_from("{\"cmd\":\"ping\"}\n\n{ \"cmd\" : \"metrics\" }\nnot json\n");
+        assert_eq!(
+            lines,
+            vec![
+                r#"{"cmd":"ping"}"#.to_string(),
+                r#"{"cmd":"metrics"}"#.to_string(),
+                "not json".to_string(),
+            ]
+        );
+    }
+
+    #[test]
+    fn batches_and_commands_are_told_apart() {
+        assert!(is_batch(r#"{"jobs":[]}"#));
+        assert!(is_batch("utter garbage"));
+        assert!(!is_batch(r#"{"cmd":"ping"}"#));
+        assert!(!is_batch(r#"{"cmd":"shutdown"}"#));
+    }
+}
