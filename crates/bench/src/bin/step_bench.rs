@@ -9,16 +9,21 @@
 //!    engine targets (0.2) plus low-injection points (0.01–0.05) where
 //!    per-cycle overhead dominates.
 //! 2. **Step-mode comparison** (`results/BENCH_step_mode.json`) — measures
-//!    cycle-accurate vs event-driven vs auto stepping on sparse workloads
+//!    the full (step mode × step threads) grid — cycle-accurate vs
+//!    event-driven vs auto, each serial and sharded — on sparse workloads
 //!    (bursty and steady trickle), where the event wheel fast-forwards the
-//!    quiescent spans between bursts. `docs/EVENTS.md` explains how to
-//!    read it.
+//!    quiescent spans between bursts and per-shard sleep/wake keeps idle
+//!    bands off the pool. `docs/EVENTS.md` explains how to read it.
 //!
-//! Traffic is pre-generated from a fixed seed, and the per-run **digest**
-//! (injected, ejected, final cycle, total link traversals) is asserted
-//! identical across every thread count and every step mode before anything
-//! is written — the timing numbers vary with the machine, the simulation
-//! results never do.
+//! Every grid point is measured as **warmup + median-of-3**: one untimed
+//! run primes caches and the worker pool, then three timed runs report
+//! their median rate. Traffic is pre-generated from a fixed seed, and the
+//! per-run **digest** (injected, ejected, final cycle, total link
+//! traversals) is asserted identical across every thread count, every step
+//! mode, and every repeat before anything is written — a divergence
+//! anywhere in the cross product aborts the bench with a non-zero exit.
+//! The timing numbers vary with the machine, the simulation results never
+//! do. Every emitted record carries its `step_mode` and `step_threads`.
 //!
 //! Pass `--quick` to drop the largest grid and shorten runs.
 
@@ -43,6 +48,10 @@ const MODES: [StepMode; 3] = [
     StepMode::EventDriven,
     StepMode::Auto,
 ];
+/// Step-thread counts crossed with [`MODES`] by the mode section: the
+/// serial baseline plus the sharded points where event-driven stepping
+/// composes with the per-shard sleep/wake machinery.
+const MODE_THREADS: [usize; 3] = [1, 2, 4];
 
 /// Simulation results that must not depend on the thread count or the
 /// step mode.
@@ -71,6 +80,23 @@ impl Digest {
             self.injected, self.ejected, self.final_cycle, self.traversals
         )
     }
+}
+
+/// Warmup + median-of-3 around one timed point. The first (discarded) run
+/// primes caches, page tables, and the step-thread pool; the next three
+/// are timed and the median rate is reported. All four digests must agree
+/// — a digest that varies between identical runs is nondeterminism, not
+/// noise, and aborts the bench.
+fn warm_median3(mut run: impl FnMut() -> (Digest, f64)) -> (Digest, f64) {
+    let (digest, _) = run();
+    let mut rates = [0.0f64; 3];
+    for r in &mut rates {
+        let (d, cps) = run();
+        assert_eq!(digest, d, "digest varied between identical repeat runs");
+        *r = cps;
+    }
+    rates.sort_by(f64::total_cmp);
+    (digest, rates[1])
 }
 
 /// One timed run: steps `cfg` under the pre-generated `traffic` for
@@ -102,17 +128,24 @@ fn timed_run(
     (Digest::of(&net), snap.cycle as f64 / secs.max(1e-9))
 }
 
-/// One timed mode run: drives `cfg` in `mode` through the sparse
-/// `schedule` of (cycle, source, flit) injections, fast-forwarding to the
-/// next injection whenever the network quiesces (a no-op in cycle mode),
-/// until at least `horizon` cycles have elapsed and the network drained.
+/// One timed mode run: drives `cfg` in `mode` with `step_threads` shards
+/// through the sparse `schedule` of (cycle, source, flit) injections,
+/// fast-forwarding to the next injection whenever the network quiesces (a
+/// no-op in cycle mode), until at least `horizon` cycles have elapsed and
+/// the network drained.
 fn timed_mode_run(
     cfg: &NetworkConfig,
     schedule: &[(u64, Coord, Flit)],
     horizon: u64,
     mode: StepMode,
+    step_threads: usize,
 ) -> (Digest, f64) {
-    let mut net = Network::new(cfg.clone().with_step_mode(mode)).expect("valid bench config");
+    let mut net = Network::new(
+        cfg.clone()
+            .with_step_mode(mode)
+            .with_step_threads(step_threads),
+    )
+    .expect("valid bench config");
     let start = Instant::now();
     let mut next = 0usize;
     let mut iters = 0u64;
@@ -285,11 +318,13 @@ fn bench_threads(opts: &Opts) {
             );
             let mut baseline: Option<(Digest, f64)> = None;
             let mut rows = Vec::new();
+            let mut mode_name = "";
             for &t in &THREADS {
-                let (digest, cps) = timed_run(&cfg, &traffic, t);
-                let shards = Network::new(cfg.clone().with_step_threads(t))
-                    .expect("valid bench config")
-                    .step_threads();
+                let (digest, cps) = warm_median3(|| timed_run(&cfg, &traffic, t));
+                let probe =
+                    Network::new(cfg.clone().with_step_threads(t)).expect("valid bench config");
+                let shards = probe.step_threads();
+                mode_name = probe.step_mode().name();
                 match &baseline {
                     None => baseline = Some((digest, cps)),
                     Some((d0, _)) => assert_eq!(
@@ -323,7 +358,8 @@ fn bench_threads(opts: &Opts) {
             for (i, (t, shards, cps, speedup)) in rows.iter().enumerate() {
                 let _ = writeln!(
                     json,
-                    "        {{\"threads\": {t}, \"shards\": {shards}, \
+                    "        {{\"step_mode\": \"{mode_name}\", \"step_threads\": {t}, \
+                     \"shards\": {shards}, \
                      \"cycles_per_sec\": {}, \"speedup\": {}}}{}",
                     fmt_f(*cps, 1),
                     fmt_f(*speedup, 3),
@@ -365,27 +401,33 @@ fn bench_modes(opts: &Opts) {
         let mut baseline: Option<(Digest, f64)> = None;
         let mut results = Vec::new();
         for mode in MODES {
-            let (digest, cps) = timed_mode_run(&row.cfg, &row.schedule, row.horizon, mode);
-            match &baseline {
-                None => baseline = Some((digest, cps)),
-                Some((d0, _)) => assert_eq!(
-                    *d0,
-                    digest,
-                    "{} {} {}: digest diverged in {} mode",
-                    row.dims,
-                    row.cfg.label(),
-                    row.workload,
-                    mode.name()
-                ),
+            for &t in &MODE_THREADS {
+                let (digest, cps) =
+                    warm_median3(|| timed_mode_run(&row.cfg, &row.schedule, row.horizon, mode, t));
+                let shards = Network::new(row.cfg.clone().with_step_threads(t))
+                    .expect("valid bench config")
+                    .step_threads();
+                match &baseline {
+                    None => baseline = Some((digest, cps)),
+                    Some((d0, _)) => assert_eq!(
+                        *d0,
+                        digest,
+                        "{} {} {}: digest diverged in {} mode at {t} step threads",
+                        row.dims,
+                        row.cfg.label(),
+                        row.workload,
+                        mode.name()
+                    ),
+                }
+                let speedup = cps / baseline.expect("set above").1;
+                println!(
+                    "   mode={} threads={t} (shards={shards}): {} cycles/sec, speedup {}",
+                    mode.name(),
+                    fmt_f(cps, 0),
+                    fmt_f(speedup, 2),
+                );
+                results.push((mode, t, shards, cps, speedup));
             }
-            let speedup = cps / baseline.expect("set above").1;
-            println!(
-                "   mode={}: {} cycles/sec, speedup {}",
-                mode.name(),
-                fmt_f(cps, 0),
-                fmt_f(speedup, 2),
-            );
-            results.push((mode, cps, speedup));
         }
         let (digest, _) = baseline.expect("at least one mode");
         if !first {
@@ -401,10 +443,11 @@ fn bench_modes(opts: &Opts) {
         let _ = writeln!(json, "      \"injection_rate\": {},", fmt_f(rate, 5));
         let _ = writeln!(json, "      \"digest\": {},", digest.json());
         let _ = writeln!(json, "      \"modes\": [");
-        for (i, (mode, cps, speedup)) in results.iter().enumerate() {
+        for (i, (mode, t, shards, cps, speedup)) in results.iter().enumerate() {
             let _ = writeln!(
                 json,
-                "        {{\"mode\": \"{}\", \"cycles_per_sec\": {}, \"speedup\": {}}}{}",
+                "        {{\"step_mode\": \"{}\", \"step_threads\": {t}, \"shards\": {shards}, \
+                 \"cycles_per_sec\": {}, \"speedup\": {}}}{}",
                 mode.name(),
                 fmt_f(*cps, 1),
                 fmt_f(*speedup, 3),

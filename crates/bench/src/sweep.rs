@@ -70,21 +70,13 @@ impl SweepJob {
     /// The store key: [`MODEL_VERSION`] plus the canonical
     /// [`SweepRequest`] rendering (which carries its own explicit
     /// `key_version`). Byte-stable across processes and constructible by
-    /// any client that can write JSON — unlike the deprecated
-    /// `Debug`-based [`SweepJob::key`]. `step_threads` and `step_mode`
-    /// never reach the key, so results from any engine at any thread
-    /// count are interchangeable.
+    /// any client that can write JSON — unlike the `Debug`-based
+    /// `SweepJob::key` it replaced (deprecated in 0.7.0, removed the
+    /// release after, per the one-release deprecation policy).
+    /// `step_threads` and `step_mode` never reach the key, so results
+    /// from any engine at any thread count are interchangeable.
     pub fn cache_key(&self) -> String {
         format!("{MODEL_VERSION}|{}", self.request().cache_key())
-    }
-
-    /// The legacy cache key.
-    #[deprecated(
-        since = "0.7.0",
-        note = "use `SweepJob::cache_key`, the canonical `SweepRequest`-based key"
-    )]
-    pub fn key(&self) -> String {
-        self.cache_key()
     }
 }
 

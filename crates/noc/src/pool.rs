@@ -147,8 +147,36 @@ impl StepPool {
         T: Send,
         F: Fn(usize, &mut T) + Sync,
     {
+        self.run_parts_masked(parts, 0, f);
+    }
+
+    /// Like [`StepPool::run_parts`], but every part whose bit is set in
+    /// `skip_mask` sleeps through this epoch: it is never published to the
+    /// pool, never claimed by any thread, and contributes nothing to the
+    /// barrier — zero per-slot cost beyond one bit test at claim time.
+    ///
+    /// The mask is reconciled into the protocol's persistent sleep set
+    /// under the publish lock ([`EpochCore::sleep_task`] /
+    /// [`EpochCore::wake_task`]), so the caller owns the full sleep/wake
+    /// decision each epoch: a bit set this epoch and cleared the next is
+    /// exactly the *wake-on-credit* edge of `docs/PARALLELISM.md`. Bits at
+    /// index ≥ 32 cannot be masked (the sleep set is a `u32`; the shard
+    /// layer caps at `MAX_SHARDS = 32`). If the mask covers *every* part,
+    /// the epoch is vacuous and no publish happens at all.
+    pub fn run_parts_masked<T, F>(&self, parts: &mut [T], skip_mask: u32, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
         let n = parts.len();
         if n == 0 {
+            return;
+        }
+        let live = if n >= 32 { u32::MAX } else { (1u32 << n) - 1 };
+        if n <= 32 && skip_mask & live == live {
+            // Every part is asleep: skip the publish entirely. The sleep
+            // set is fully re-reconciled on the next non-vacuous call, so
+            // leaving the protocol untouched here is safe.
             return;
         }
         let base = PartsPtr(parts.as_mut_ptr());
@@ -172,6 +200,14 @@ impl StepPool {
             unsafe { std::mem::transmute(erased) };
         {
             let mut st = self.shared.state.lock().expect("step pool lock");
+            // Reconcile the sleep set before the publish snapshots it.
+            for i in 0..n.min(32) {
+                if skip_mask & (1u32 << i) != 0 {
+                    st.core.sleep_task(i);
+                } else {
+                    st.core.wake_task(i);
+                }
+            }
             let sig = st.core.publish(n);
             st.job = Some(Job(erased));
             self.shared.raise(sig, &st);
@@ -289,6 +325,74 @@ mod tests {
         let pool = StepPool::new(2);
         let mut parts: Vec<u8> = vec![];
         pool.run_parts(&mut parts, |_, _| unreachable!("no tasks"));
+    }
+
+    #[test]
+    fn masked_parts_sleep_through_the_epoch() {
+        let pool = StepPool::new(3);
+        let mut parts: Vec<u32> = vec![0; 8];
+        // Sleep the even slots; only the odd ones may run.
+        let mask = 0b0101_0101u32;
+        pool.run_parts_masked(&mut parts, mask, |i, p| {
+            assert!(i % 2 == 1, "slot {i} was asleep but ran");
+            *p += 1;
+        });
+        for (i, &p) in parts.iter().enumerate() {
+            assert_eq!(p, (i % 2) as u32, "slot {i}");
+        }
+    }
+
+    #[test]
+    fn a_fully_masked_epoch_is_vacuous() {
+        let pool = StepPool::new(2);
+        let mut parts = vec![0u8; 4];
+        pool.run_parts_masked(&mut parts, 0b1111, |_, _| {
+            unreachable!("every slot is asleep")
+        });
+        assert!(parts.iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn wake_on_credit_rearms_a_slot_for_the_next_epoch() {
+        // Slot 2 sleeps one epoch, then its mask bit clears (the credit
+        // arrived) and it must run again — the wake-on-credit edge.
+        let pool = StepPool::new(2);
+        let mut parts = vec![0u32; 5];
+        pool.run_parts_masked(&mut parts, 1 << 2, |_, p| *p += 1);
+        assert_eq!(parts, vec![1, 1, 0, 1, 1]);
+        pool.run_parts_masked(&mut parts, 0, |_, p| *p += 1);
+        assert_eq!(parts, vec![2, 2, 1, 2, 2]);
+    }
+
+    #[test]
+    fn masks_vary_freely_across_epochs() {
+        let pool = StepPool::new(3);
+        let mut parts = vec![0u64; 12];
+        for round in 0..32u32 {
+            // A different sleep pattern every epoch.
+            let mask = round.wrapping_mul(0x9e37_79b9) & 0x0fff;
+            pool.run_parts_masked(&mut parts, mask, |_, p| *p += 1);
+        }
+        // Every slot ran exactly in the epochs its bit was clear.
+        for (i, &p) in parts.iter().enumerate() {
+            let expect = (0..32u32)
+                .filter(|r| r.wrapping_mul(0x9e37_79b9) & 0x0fff & (1 << i) == 0)
+                .count() as u64;
+            assert_eq!(p, expect, "slot {i}");
+        }
+    }
+
+    #[test]
+    fn a_panic_in_a_live_slot_still_reraises_once() {
+        let pool = StepPool::new(2);
+        let mut parts = vec![0u8; 6];
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run_parts_masked(&mut parts, 1 << 0, |i, _| assert!(i != 4, "boom"));
+        }));
+        assert!(res.is_err());
+        // The pool survives, and the previously slept slot runs again.
+        pool.run_parts_masked(&mut parts, 0, |_, p| *p = 7);
+        assert!(parts.iter().all(|&p| p == 7));
     }
 
     #[test]

@@ -7,10 +7,16 @@
 //! `ruche_factor` columns but never rows, and row channels stay inside
 //! their band, so a channel crosses at most as many shard boundaries as a
 //! unit-hop column channel — remote effects in the commit phase (FIFO
-//! pushes and credit returns into another band) are routed through each
-//! shard's boundary **mailbox** ([`Mail`]) and drained by the coordinating
-//! thread in shard order, which is exactly canonical (node, port, vc)
-//! order. See `docs/PARALLELISM.md` for the full determinism argument.
+//! pushes and credit returns into another band) are routed through
+//! per-destination boundary **mailboxes** ([`Mail`]): each shard stages
+//! into one outbox bucket per destination shard, the coordinator swaps
+//! buckets into the destinations' inboxes (an `O(k²)` pointer exchange,
+//! no copies), and each destination applies its own inbox in canonical
+//! (source shard, node, port, vc) order — the two-pass drain. A shard
+//! whose band holds no buffered flit is *asleep* for the cycle: it is
+//! never published to the step pool, and staged mail into it is precisely
+//! the wake-on-credit edge that re-arms it. See `docs/PARALLELISM.md` for
+//! the full determinism argument.
 
 use crate::geometry::Dims;
 use crate::packet::Flit;
@@ -101,8 +107,9 @@ pub(crate) struct Transfer {
     pub out_vc: usize,
 }
 
-/// A cross-shard side effect of the commit phase, applied by the
-/// coordinator after the commit barrier (in shard order, which equals
+/// A cross-shard side effect of the commit phase, staged into the
+/// destination shard's outbox bucket and applied by the destination
+/// itself after the exchange (in source-shard order, which equals
 /// canonical node order).
 #[derive(Debug, Clone)]
 pub(crate) enum Mail {
@@ -128,6 +135,11 @@ pub(crate) struct ShardState {
     pub first_node: usize,
     /// Number of nodes owned by this shard.
     pub n_nodes: usize,
+    /// Whether this shard's band held any buffered flit at the start of
+    /// the current cycle — its slice of the active worklist was non-empty.
+    /// A shard that is not awake is skipped by both pool epochs (zero
+    /// plan/commit work; never claimed) until staged mail re-arms it.
+    pub awake: bool,
     /// Grants planned this cycle, in ascending node order.
     pub transfers: Vec<Transfer>,
     /// Per-output request bitmasks for the node being planned.
@@ -140,8 +152,15 @@ pub(crate) struct ShardState {
     /// Telemetry events `(node, port, vc, cause)` logged during the plan
     /// phase, replayed into the shared sink in shard order.
     pub blocked: Vec<(u32, u16, u8, BlockCause)>,
-    /// Cross-shard pushes and credit returns (see [`Mail`]).
-    pub outbox: Vec<Mail>,
+    /// Cross-shard pushes and credit returns, one bucket per destination
+    /// shard (bucket `d` holds the mail bound for shard `d`; this shard's
+    /// own bucket stays empty). Swapped wholesale into the destinations'
+    /// [`inbox`](ShardState::inbox) slots by the coordinator's exchange.
+    pub outbox: Vec<Vec<Mail>>,
+    /// Inbound mail, one slot per source shard (slot `s` holds the mail
+    /// shard `s` staged for this one). Applied by this shard itself in
+    /// ascending source-shard order, then drained in place.
+    pub inbox: Vec<Vec<Mail>>,
     /// Flits ejected to endpoints this cycle (zero pipeline stages).
     pub ejected: Vec<(EndpointId, Flit)>,
     /// Pipelined link traversals `(arrival, node, port, vc, flit)` bound
@@ -157,24 +176,37 @@ pub(crate) struct ShardState {
 
 impl ShardState {
     /// Creates the state for the shard owning `range`, in a network with
-    /// `np` ports per router.
-    pub fn new(range: Range<usize>, np: usize) -> Self {
+    /// `np` ports per router. `outbox_caps[d]` / `inbox_caps[s]` are the
+    /// exact per-cycle mail maxima toward destination shard `d` / from
+    /// source shard `s`, counted from the topology's cross-band links at
+    /// build time (see `Network::new`).
+    pub fn new(
+        range: Range<usize>,
+        np: usize,
+        outbox_caps: &[usize],
+        inbox_caps: &[usize],
+    ) -> Self {
         let n_nodes = range.len();
         // One transfer per (node, output port) is the per-cycle maximum;
         // every staging buffer below is bounded by it. Sizing them all to
         // that maximum up front keeps the steady-state step allocation-free
         // even when a late cycle first exercises a rare path (e.g. a burst
-        // of boundary crossings).
+        // of boundary crossings). The mail buckets get the tighter
+        // per-(src, dst) link-count bound: the exchange swaps a bucket with
+        // the matching inbox slot, so both sides carry the same capacity
+        // and the swap circulates allocations instead of making new ones.
         let cap = n_nodes * np;
         ShardState {
             first_node: range.start,
             n_nodes,
+            awake: false,
             transfers: Vec::with_capacity(cap),
             req_mask: vec![0; np],
             chosen: vec![None; np],
             grants: vec![None; np],
             blocked: Vec::new(),
-            outbox: Vec::with_capacity(cap),
+            outbox: outbox_caps.iter().map(|&c| Vec::with_capacity(c)).collect(),
+            inbox: inbox_caps.iter().map(|&c| Vec::with_capacity(c)).collect(),
             ejected: Vec::with_capacity(n_nodes),
             staged_transit: Vec::with_capacity(cap),
             staged_eject: Vec::with_capacity(n_nodes),

@@ -423,8 +423,39 @@ impl Network {
         };
 
         let shard_map = ShardMap::new(dims, resolve_step_threads(cfg.step_threads));
-        let shards: Vec<ShardState> = (0..shard_map.count())
-            .map(|s| ShardState::new(shard_map.range(s), np))
+        let k = shard_map.count();
+        // Exact per-cycle mail bound between every ordered shard pair,
+        // counted from the topology: at most one push per (node, out port)
+        // crossing src→dst (one transfer per output per cycle) and at most
+        // one credit per (node, in port) whose upstream feeder sits in dst
+        // (one pop per input per cycle). Ruche channels wrap on tori, so no
+        // adjacency between bands is assumed. Sizing both the outbox bucket
+        // and the matching inbox slot to this bound makes the exchange's
+        // swaps allocation-free forever.
+        let mut mail_caps = vec![0usize; k * k];
+        for node in 0..n_nodes {
+            let s = shard_map.shard_of(node);
+            for p in 0..np {
+                if let LinkTarget::Router { node: dn, .. } = out_links[node * np + p] {
+                    let d = shard_map.shard_of(dn);
+                    if d != s {
+                        mail_caps[s * k + d] += 1;
+                    }
+                }
+                if let Some((un, _)) = upstream[node * np + p] {
+                    let d = shard_map.shard_of(un);
+                    if d != s {
+                        mail_caps[s * k + d] += 1;
+                    }
+                }
+            }
+        }
+        let shards: Vec<ShardState> = (0..k)
+            .map(|s| {
+                let outbox_caps = &mail_caps[s * k..(s + 1) * k];
+                let inbox_caps: Vec<usize> = (0..k).map(|src| mail_caps[src * k + s]).collect();
+                ShardState::new(shard_map.range(s), np, outbox_caps, &inbox_caps)
+            })
             .collect();
         // The calling thread participates in every epoch, so a k-shard grid
         // wants k - 1 pooled workers. Created once, parked between cycles.
@@ -508,13 +539,60 @@ impl Network {
     ///   nothing will ever happen without a new [`Network::enqueue`].
     ///
     /// This is the wake-set introspection event-driven drivers use to jump
-    /// the clock over dead spans (see [`Network::fast_forward`]).
+    /// the clock over dead spans (see [`Network::fast_forward`]). It always
+    /// equals the minimum of [`Network::shard_next_event_cycle`] over all
+    /// shards: every active router, queued source, and pipelined arrival
+    /// belongs to exactly one row band.
     pub fn next_event_cycle(&self) -> Option<u64> {
         if !self.active.is_empty() || !self.active_src.is_empty() {
             return Some(self.cycle);
         }
         let transit = self.in_transit.front().map(|&(arrive, ..)| arrive);
         let eject = self.in_transit_eject.front().map(|&(arrive, ..)| arrive);
+        match (transit, eject) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (None, None) => None,
+        }
+    }
+
+    /// The next cycle in which stepping can move a flit **inside shard
+    /// `s`'s row band**: `Some(self.cycle())` while any band router
+    /// buffers a flit or any band source queue is non-empty, `Some(t)`
+    /// when the band's earliest pipelined arrival (hop or delayed
+    /// ejection) lands at `t`, and `None` when the band is quiescent — the
+    /// shard sleeps through every pool epoch until cross-band mail or a
+    /// new enqueue re-arms it. The global [`Network::next_event_cycle`] is
+    /// the minimum of this over all shards, which is what
+    /// [`Network::fast_forward`] skips to.
+    ///
+    /// Introspection only (it scans the transit queues); the hot path
+    /// derives the per-cycle awake mask from the sorted worklist split
+    /// instead.
+    pub fn shard_next_event_cycle(&self, s: usize) -> Option<u64> {
+        let band = self.shard_map.range(s);
+        let owns_ep = |ep: usize| {
+            let node = self.entries[ep].0;
+            node != usize::MAX && band.contains(&node)
+        };
+        if self.active.iter().any(|&n| band.contains(&(n as usize)))
+            || self.active_src.iter().any(|&e| owns_ep(e as usize))
+        {
+            return Some(self.cycle);
+        }
+        let transit = self
+            .in_transit
+            .iter()
+            .filter(|&&(_, node, ..)| band.contains(&node))
+            .map(|&(arrive, ..)| arrive)
+            .min();
+        let eject = self
+            .in_transit_eject
+            .iter()
+            .filter(|&&(_, ep, _)| owns_ep(ep.0))
+            .map(|&(arrive, ..)| arrive)
+            .min();
         match (transit, eject) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (Some(a), None) => Some(a),
@@ -861,11 +939,14 @@ impl Network {
             // decision observes cycle-start state (routers are shared
             // immutably across shards; only shard-owned arbiter state
             // mutates), so the result is independent of shard count and
-            // scheduling.
-            self.plan_phase(tel.is_some());
+            // scheduling. Shards whose band holds no buffered flit sleep
+            // through both pool epochs: the returned awake mask masks them
+            // out of publish, so they are never claimed and cost nothing.
+            let awake = self.plan_phase(tel.is_some());
 
             // Replay per-shard telemetry logs into the shared sink in shard
-            // order — identical to the serial recording order.
+            // order — identical to the serial recording order. (Sleeping
+            // shards logged nothing; their buffers are empty.)
             if let Some(t) = tel.as_deref_mut() {
                 for st in &mut self.shards {
                     for &(node, port, vc, cause) in &st.blocked {
@@ -880,10 +961,14 @@ impl Network {
             let progressed = self.shards.iter().any(|s| !s.transfers.is_empty());
 
             // Phase B: commit the planned traversals. Shard-local effects
-            // apply directly; cross-shard pushes and credit returns go to
-            // the shard's outbox and are drained below in canonical
-            // (node, port, vc) order.
-            self.commit_phase();
+            // apply directly; cross-shard pushes and credit returns are
+            // staged per destination shard, exchanged by pointer swap, and
+            // applied by each destination in canonical (source shard,
+            // node, port, vc) order — mail into a sleeping shard is the
+            // wake-on-credit edge that re-arms it for the next cycle.
+            self.commit_phase(awake);
+            let inboxes = self.exchange_mail();
+            self.apply_inboxes(inboxes);
             self.drain_shards();
             progressed
         };
@@ -967,7 +1052,16 @@ impl Network {
     /// Planning reads all routers immutably and mutates only shard-owned
     /// state, so cross-shard credit observations are exactly the immutable
     /// cycle-start snapshot.
-    fn plan_phase(&mut self, tel_on: bool) {
+    ///
+    /// Returns the **awake mask**: bit `s` set iff shard `s`'s slice of
+    /// the worklist is non-empty. Sleeping shards are masked out of the
+    /// pool epoch ([`StepPool::run_parts_masked`]) — zero plan work,
+    /// skipped at claim time — and when a single shard is awake the plan
+    /// runs inline on the caller with no pool epoch at all. Skipping a
+    /// sleeping shard touches nothing the serial path would touch: plan
+    /// only visits active nodes, and a shard with none mutates no arbiter,
+    /// no cache, no scratch.
+    fn plan_phase(&mut self, tel_on: bool) -> u32 {
         let Network {
             cfg,
             ports,
@@ -1006,6 +1100,7 @@ impl Network {
         if k == 1 {
             // Serial fast path: one shard owns everything, so hand it the
             // full slices directly instead of building the chunk table.
+            shards[0].awake = true;
             let mut c = PlanChunk {
                 active,
                 out_rr,
@@ -1019,8 +1114,9 @@ impl Network {
             } else {
                 plan_wormhole_shard(&px, &mut c);
             }
-            return;
+            return 1;
         }
+        let mut awake_mask = 0u32;
         let mut chunks: [Option<PlanChunk>; MAX_SHARDS] = std::array::from_fn(|_| None);
         {
             let mut act: &[u32] = active;
@@ -1032,10 +1128,15 @@ impl Network {
                 let n = st.n_nodes;
                 let hi = st.first_node + n;
                 // The worklist is sorted ascending, so this shard's nodes
-                // are the prefix below its upper bound.
+                // are the prefix below its upper bound. An empty slice
+                // means the whole band is quiescent — the shard sleeps.
                 let cut = act.partition_point(|&x| (x as usize) < hi);
                 let (mine, rest) = act.split_at(cut);
                 act = rest;
+                st.awake = !mine.is_empty();
+                if st.awake {
+                    awake_mask |= 1 << s;
+                }
                 chunks[s] = Some(PlanChunk {
                     active: mine,
                     out_rr: split_prefix(&mut orr, if is_vc { 0 } else { n * np }),
@@ -1052,34 +1153,45 @@ impl Network {
             debug_assert!(orr.is_empty() && irr.is_empty() && swa.is_empty());
             debug_assert!(rc.is_empty(), "route-cache tail unassigned");
         }
+        debug_assert_ne!(awake_mask, 0, "step() skips the phases when idle");
+        let run = |c: &mut PlanChunk<'_>| {
+            if is_vc {
+                plan_vc_shard(&px, c);
+            } else {
+                plan_wormhole_shard(&px, c);
+            }
+        };
         match pool {
-            Some(p) if k > 1 => p.run_parts(&mut chunks[..k], |_, slot| {
-                let c = slot.as_mut().expect("chunk built for every shard");
-                if is_vc {
-                    plan_vc_shard(&px, c);
-                } else {
-                    plan_wormhole_shard(&px, c);
-                }
-            }),
+            // A lone awake shard needs no epoch: run it inline on the
+            // caller. (Which thread plans a shard never affects results.)
+            Some(p) if awake_mask.count_ones() > 1 => {
+                p.run_parts_masked(&mut chunks[..k], !awake_mask, |_, slot| {
+                    run(slot.as_mut().expect("chunk built for every shard"));
+                })
+            }
             _ => {
-                for slot in &mut chunks[..k] {
-                    let c = slot.as_mut().expect("chunk built for every shard");
-                    if is_vc {
-                        plan_vc_shard(&px, c);
-                    } else {
-                        plan_wormhole_shard(&px, c);
+                for (s, slot) in chunks.iter_mut().enumerate().take(k) {
+                    if awake_mask & (1 << s) != 0 {
+                        run(slot.as_mut().expect("chunk built for every shard"));
                     }
                 }
             }
         }
+        awake_mask
     }
 
     /// Phase B: commits every shard's planned transfers (in parallel when
     /// pooled). Shard-local mutations apply in place; effects that land in
-    /// another shard (downstream pushes, upstream credit returns) or in
-    /// global queues (pipeline transit, ejections) are staged per shard for
+    /// another shard (downstream pushes, upstream credit returns) are
+    /// staged into per-destination outbox buckets for
+    /// [`Network::exchange_mail`], and global-queue effects (pipeline
+    /// transit, ejections) are staged per shard for
     /// [`Network::drain_shards`].
-    fn commit_phase(&mut self) {
+    ///
+    /// `awake_mask` is [`Network::plan_phase`]'s return value: only awake
+    /// shards can hold transfers, so sleeping shards are masked out of the
+    /// epoch (and a lone awake shard commits inline on the caller).
+    fn commit_phase(&mut self, awake_mask: u32) {
         let Network {
             cfg,
             ports,
@@ -1092,6 +1204,7 @@ impl Network {
             on_active,
             max_vcs,
             cycle,
+            shard_map,
             shards,
             pool,
             ..
@@ -1102,6 +1215,7 @@ impl Network {
             max_vcs: *max_vcs,
             out_links,
             upstream,
+            shard_map,
             cycle: *cycle,
         };
         let np = cx.np;
@@ -1128,6 +1242,10 @@ impl Network {
             let mut ona: &mut [bool] = on_active;
             for (s, st) in shards.iter_mut().enumerate() {
                 let n = st.n_nodes;
+                debug_assert!(
+                    st.awake || st.transfers.is_empty(),
+                    "sleeping shard {s} planned a transfer"
+                );
                 chunks[s] = Some(CommitChunk {
                     routers: split_prefix(&mut rts, n),
                     occupancy: split_prefix(&mut occ, n),
@@ -1144,52 +1262,120 @@ impl Network {
             debug_assert!(rc.is_empty(), "route-cache tail unassigned");
         }
         match pool {
-            Some(p) if k > 1 => p.run_parts(&mut chunks[..k], |_, slot| {
-                commit_shard(&cx, slot.as_mut().expect("chunk built for every shard"));
-            }),
-            _ => {
-                for slot in &mut chunks[..k] {
+            Some(p) if awake_mask.count_ones() > 1 => {
+                p.run_parts_masked(&mut chunks[..k], !awake_mask, |_, slot| {
                     commit_shard(&cx, slot.as_mut().expect("chunk built for every shard"));
+                })
+            }
+            _ => {
+                for (s, slot) in chunks.iter_mut().enumerate().take(k) {
+                    if awake_mask & (1 << s) != 0 {
+                        commit_shard(&cx, slot.as_mut().expect("chunk built for every shard"));
+                    }
                 }
             }
         }
     }
 
-    /// Applies every shard's staged cross-shard and global effects, in
-    /// shard order. Shards hold ascending node ranges and each staged list
-    /// is in ascending-node plan order, so this serial drain reproduces the
+    /// First drain pass: swaps every non-empty outbox bucket into the
+    /// matching destination inbox slot — an `O(k²)` pointer exchange that
+    /// moves no mail and allocates nothing (both sides were sized to the
+    /// same cross-band link bound at build time). Returns the **inbox
+    /// mask**: bit `d` set iff shard `d` received mail this cycle.
+    fn exchange_mail(&mut self) -> u32 {
+        let k = self.shards.len();
+        if k == 1 {
+            return 0;
+        }
+        let mut inbox_mask = 0u32;
+        for s in 0..k {
+            for d in 0..k {
+                if s == d || self.shards[s].outbox[d].is_empty() {
+                    debug_assert!(s != d || self.shards[s].outbox[d].is_empty());
+                    continue;
+                }
+                let (src, dst) = shard_pair(&mut self.shards, s, d);
+                debug_assert!(
+                    dst.inbox[s].is_empty(),
+                    "inbox slot {s}->{d} not drained last cycle"
+                );
+                std::mem::swap(&mut src.outbox[d], &mut dst.inbox[s]);
+                inbox_mask |= 1 << d;
+            }
+        }
+        inbox_mask
+    }
+
+    /// Second drain pass: each destination shard applies its own inbox —
+    /// slots in ascending source-shard order, mail within a slot in staged
+    /// (ascending source node) order. Flow control guarantees at most one
+    /// push per destination (node, port, vc) slot and at most one credit
+    /// per upstream output per cycle, so every applied effect lands in
+    /// disjoint state and the application order across destinations cannot
+    /// influence any result — which is what lets the destinations run as a
+    /// masked pool epoch (sleeping and mail-less shards skipped; a lone
+    /// destination applies inline on the caller).
+    fn apply_inboxes(&mut self, inbox_mask: u32) {
+        if inbox_mask == 0 {
+            return;
+        }
+        let Network {
+            cfg,
+            routers,
+            occupancy,
+            on_active,
+            shards,
+            pool,
+            ..
+        } = self;
+        let fifo_depth = cfg.fifo_depth;
+        let k = shards.len();
+        let mut chunks: [Option<ApplyChunk>; MAX_SHARDS] = std::array::from_fn(|_| None);
+        {
+            let mut rts: &mut [Router] = routers;
+            let mut occ: &mut [u32] = occupancy;
+            let mut ona: &mut [bool] = on_active;
+            for (s, st) in shards.iter_mut().enumerate() {
+                let n = st.n_nodes;
+                chunks[s] = Some(ApplyChunk {
+                    routers: split_prefix(&mut rts, n),
+                    occupancy: split_prefix(&mut occ, n),
+                    on_active: split_prefix(&mut ona, n),
+                    st,
+                });
+            }
+            debug_assert!(rts.is_empty() && occ.is_empty() && ona.is_empty());
+        }
+        match pool {
+            Some(p) if inbox_mask.count_ones() > 1 => {
+                p.run_parts_masked(&mut chunks[..k], !inbox_mask, |_, slot| {
+                    apply_inbox(
+                        fifo_depth,
+                        slot.as_mut().expect("chunk built for every shard"),
+                    );
+                })
+            }
+            _ => {
+                for (d, slot) in chunks.iter_mut().enumerate().take(k) {
+                    if inbox_mask & (1 << d) != 0 {
+                        apply_inbox(
+                            fifo_depth,
+                            slot.as_mut().expect("chunk built for every shard"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies every shard's staged global effects, in shard order. Shards
+    /// hold ascending node ranges and each staged list is in
+    /// ascending-node plan order, so this serial drain reproduces the
     /// serial commit order exactly — the canonical (node, port, vc) order
     /// that makes results byte-identical at any thread count.
     fn drain_shards(&mut self) {
         let np = self.ports.len();
         for s in 0..self.shards.len() {
-            // Boundary mailbox: pushes and credits into other shards.
-            let mut outbox = std::mem::take(&mut self.shards[s].outbox);
-            for mail in outbox.drain(..) {
-                match mail {
-                    Mail::Push {
-                        node,
-                        port,
-                        vc,
-                        flit,
-                    } => {
-                        self.routers[node].inputs[port].vcs[vc]
-                            .try_push(flit)
-                            .expect("downstream space guaranteed by flow control");
-                        self.occupancy[node] += 1;
-                        self.mark_active(node);
-                    }
-                    Mail::Credit { node, port, vc } => {
-                        let out = &mut self.routers[node].outputs[port];
-                        if out.counted {
-                            out.credits[vc] += 1;
-                            debug_assert!(out.credits[vc] as usize <= self.cfg.fifo_depth);
-                        }
-                    }
-                }
-            }
-            self.shards[s].outbox = outbox;
-
             // Pipelined traversals and ejections enter the global queues in
             // shard order; arrival cycles are uniform within a cycle, so the
             // queues stay sorted by arrival.
@@ -1311,6 +1497,8 @@ struct CommitShared<'a> {
     max_vcs: usize,
     out_links: &'a [LinkTarget],
     upstream: &'a [Option<(usize, usize)>],
+    /// For routing cross-band mail to the destination's outbox bucket.
+    shard_map: &'a ShardMap,
     cycle: u64,
 }
 
@@ -1323,6 +1511,73 @@ struct CommitChunk<'a> {
     route_cache: &'a mut [Option<(usize, u8)>],
     on_active: &'a mut [bool],
     st: &'a mut ShardState,
+}
+
+/// Mutable state one destination shard's inbox application owns: its band
+/// of routers, the activity arrays parallel to them, and its own inbox.
+struct ApplyChunk<'a> {
+    routers: &'a mut [Router],
+    occupancy: &'a mut [u32],
+    on_active: &'a mut [bool],
+    st: &'a mut ShardState,
+}
+
+/// Disjoint `&mut` access to two distinct shards (for the mail exchange's
+/// outbox-bucket / inbox-slot swap).
+fn shard_pair(shards: &mut [ShardState], a: usize, b: usize) -> (&mut ShardState, &mut ShardState) {
+    debug_assert_ne!(a, b);
+    if a < b {
+        let (lo, hi) = shards.split_at_mut(b);
+        (&mut lo[a], &mut hi[0])
+    } else {
+        let (lo, hi) = shards.split_at_mut(a);
+        (&mut hi[0], &mut lo[b])
+    }
+}
+
+/// Applies one destination shard's inbound mail: inbox slots in ascending
+/// source-shard order, each drained in staged (ascending source node)
+/// order. Pushes land in this band's FIFOs and may re-arm quiescent
+/// routers (the wake-on-credit edge — the node joins `newly_active` and
+/// the shard wakes next cycle); credits top up this band's output
+/// counters. Flow control bounds the mail per (node, port, vc) slot to
+/// one, so all effects are disjoint and order across destinations is
+/// immaterial.
+fn apply_inbox(fifo_depth: usize, c: &mut ApplyChunk<'_>) {
+    let first = c.st.first_node;
+    let ShardState {
+        inbox,
+        newly_active,
+        ..
+    } = &mut *c.st;
+    for slot in inbox.iter_mut() {
+        for mail in slot.drain(..) {
+            match mail {
+                Mail::Push {
+                    node,
+                    port,
+                    vc,
+                    flit,
+                } => {
+                    c.routers[node - first].inputs[port].vcs[vc]
+                        .try_push(flit)
+                        .expect("downstream space guaranteed by flow control");
+                    c.occupancy[node - first] += 1;
+                    if !c.on_active[node - first] {
+                        c.on_active[node - first] = true;
+                        newly_active.push(node as u32);
+                    }
+                }
+                Mail::Credit { node, port, vc } => {
+                    let out = &mut c.routers[node - first].outputs[port];
+                    if out.counted {
+                        out.credits[vc] += 1;
+                        debug_assert!(out.credits[vc] as usize <= fifo_depth);
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Route decision for the head of (node, ip, vc), memoized per head in the
@@ -1565,9 +1820,10 @@ fn plan_vc_shard(px: &PlanShared<'_>, c: &mut PlanChunk<'_>) {
 }
 
 /// Commits one shard's planned transfers. Mutations that stay inside the
-/// shard's node band apply directly; everything else is staged (outbox for
-/// cross-shard pushes/credits, staged queues for pipeline transit and
-/// ejections) for the coordinator's in-order drain. At most one transfer
+/// shard's node band apply directly; everything else is staged
+/// (per-destination outbox buckets for cross-shard pushes/credits, staged
+/// queues for pipeline transit and ejections) for the two-pass drain and
+/// the coordinator's in-order merge. At most one transfer
 /// exists per (node, input port) and per (node, output port), and upstream
 /// links are injective, so concurrent shard commits touch disjoint state.
 fn commit_shard(cx: &CommitShared<'_>, c: &mut CommitChunk<'_>) {
@@ -1613,7 +1869,7 @@ fn commit_shard(cx: &CommitShared<'_>, c: &mut CommitChunk<'_>) {
                     debug_assert!(out.credits[t.in_vc] as usize <= cx.cfg.fifo_depth);
                 }
             } else {
-                c.st.outbox.push(Mail::Credit {
+                c.st.outbox[cx.shard_map.shard_of(un)].push(Mail::Credit {
                     node: un,
                     port: uo,
                     vc: t.in_vc,
@@ -1635,7 +1891,7 @@ fn commit_shard(cx: &CommitShared<'_>, c: &mut CommitChunk<'_>) {
                             c.st.newly_active.push(dn as u32);
                         }
                     } else {
-                        c.st.outbox.push(Mail::Push {
+                        c.st.outbox[cx.shard_map.shard_of(dn)].push(Mail::Push {
                             node: dn,
                             port: dp,
                             vc: t.out_vc,

@@ -139,6 +139,16 @@ impl DorOrder {
 /// * [`Auto`](StepMode::Auto) behaves like `EventDriven` but only starts
 ///   probing for skippable spans after a short idle streak, so saturated
 ///   runs never pay the quiescence checks.
+///
+/// The mode composes freely with the `step_threads` knob: a sharded
+/// network tracks per-shard activity, so under the event wheel each
+/// shard's band contributes its own next-event cycle
+/// (`Network::shard_next_event_cycle`) and the global skip horizon is
+/// their minimum, while shards whose band is idle sleep through the
+/// stepped cycles entirely (they are masked out of the worker-pool epochs
+/// and woken by the first cross-band push or credit addressed to them).
+/// Every point of the (mode × threads) grid is asserted byte-identical by
+/// `tests/step_mode_determinism.rs` and benchmarked by `step_bench`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum StepMode {
     /// Execute every cycle (the reference engine; the default).

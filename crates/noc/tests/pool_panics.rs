@@ -59,6 +59,53 @@ fn pool_stays_usable_after_a_panicked_epoch() {
 }
 
 #[test]
+fn masked_epochs_survive_a_panic_and_masks_do_not_leak() {
+    let pool = StepPool::new(3);
+    let mut parts = vec![0u32; 8];
+    // Panic in a live slot of a masked epoch: slept slots must not run,
+    // the panic re-raises once at the barrier, and the next epoch honours
+    // a *different* mask — neither the sleep set nor the panic flag may
+    // leak across the unwind.
+    let ran = AtomicUsize::new(0);
+    let res = catch_unwind(AssertUnwindSafe(|| {
+        pool.run_parts_masked(&mut parts, 0b0000_1111, |i, _| {
+            ran.fetch_add(1, Ordering::SeqCst);
+            assert!(i >= 4, "slept slot {i} must never run");
+            assert!(i != 6, "live slot 6 panics");
+        });
+    }));
+    assert!(res.is_err(), "the barrier must re-raise");
+    assert_eq!(
+        ran.load(Ordering::SeqCst),
+        4,
+        "only the four live slots ran"
+    );
+    // Clean epoch with the complementary mask.
+    pool.run_parts_masked(&mut parts, 0b1111_0000, |i, p| {
+        assert!(i < 4, "slot {i} slept this epoch");
+        *p += 1;
+    });
+    assert_eq!(parts, [1, 1, 1, 1, 0, 0, 0, 0]);
+}
+
+#[test]
+fn drop_after_a_panicked_masked_epoch_never_deadlocks() {
+    finishes_within(30, || {
+        let pool = StepPool::new(4);
+        let mut parts = vec![(); 16];
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            // Odd slots sleep; live (even) slots from 8 up panic.
+            pool.run_parts_masked(&mut parts, 0b1010_1010_1010_1010, |i, _| {
+                assert!(i % 2 == 0, "slept slot {i} must never run");
+                assert!(i < 8, "late live tasks panic");
+            });
+        }));
+        assert!(res.is_err());
+        drop(pool); // must join all four workers
+    });
+}
+
+#[test]
 fn drop_after_a_panicked_epoch_never_deadlocks() {
     finishes_within(30, || {
         let pool = StepPool::new(4);

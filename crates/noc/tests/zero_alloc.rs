@@ -21,12 +21,46 @@ struct CountingAlloc;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+/// Bumped at the start of every measured region. The counter is
+/// process-global, and libtest spawns an OS thread per test even while the
+/// [`SERIAL`] lock keeps their bodies from overlapping — and every freshly
+/// spawned thread allocates at startup (its name `Box<str>`, the
+/// stack-overflow handler's guard page bookkeeping) before any user code
+/// runs. A thread whose *first* allocation lands inside the current region
+/// is therefore harness spawn noise, not the simulator, and is excluded
+/// until the next region begins. Pool workers are spawned in
+/// `Network::new` during warmup, so their startup allocations stamp them
+/// *before* the region starts and they stay fully counted.
+static MEASURE_GEN: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Generation in force when this thread first allocated; 0 = never.
+    static BORN_GEN: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+fn note_alloc() {
+    let gen = MEASURE_GEN.load(Ordering::Relaxed);
+    // `try_with` fails only during thread teardown; count those — a
+    // steady-state sim thread is not tearing down.
+    let born = BORN_GEN
+        .try_with(|b| {
+            if b.get() == 0 {
+                b.set(gen);
+            }
+            b.get()
+        })
+        .unwrap_or(0);
+    if born < gen {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 // SAFETY: pure pass-through to the `System` allocator plus a relaxed
 // counter bump; every `GlobalAlloc` contract obligation is met by `System`
 // itself.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        note_alloc();
         // SAFETY: forwarded verbatim; the caller upholds `alloc`'s layout
         // contract.
         unsafe { System.alloc(layout) }
@@ -39,7 +73,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        note_alloc();
         // SAFETY: forwarded verbatim; `ptr` came from this allocator,
         // which is `System`.
         unsafe { System.realloc(ptr, layout, new_size) }
@@ -53,9 +87,29 @@ fn allocations() -> u64 {
     ALLOCATIONS.load(Ordering::Relaxed)
 }
 
+/// Marks the start of a measured region: threads spawned from here on
+/// (i.e. by the test harness, since the network under test is already
+/// built) are excluded from the count. See [`MEASURE_GEN`].
+fn begin_measured_region() {
+    MEASURE_GEN.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The counter above is process-global, so two tests measuring
+/// concurrently would see each other's allocations (the harness runs
+/// tests on parallel threads by default). Every test in this binary holds
+/// this lock across its measured region.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    // A poisoned lock just means another test failed; the counter itself
+    // is still fine to use.
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// Drives `net` under random traffic; flits are pre-generated so the
 /// measured region contains only `enqueue` + `step`.
 fn assert_steady_state_alloc_free(cfg: NetworkConfig, label: &str) {
+    let _guard = serial();
     let dims = cfg.dims;
     let mut net = Network::new(cfg).unwrap();
     let mut rng = SmallRng::seed_from_u64(11);
@@ -89,6 +143,7 @@ fn assert_steady_state_alloc_free(cfg: NetworkConfig, label: &str) {
     // Measured region: every remaining step, under load and through the
     // drain. Enqueues stay outside the count — source queues are unbounded
     // by design and may still grow.
+    begin_measured_region();
     let mut in_step = 0u64;
     for batch in batches {
         for &(ep, f) in &batch {
@@ -159,8 +214,38 @@ fn sharded_vc_step_is_allocation_free_in_steady_state() {
 /// scratch buffers are warm.
 #[test]
 fn event_mode_fast_forward_is_allocation_free_in_steady_state() {
-    let dims = Dims::new(8, 8);
-    let cfg = NetworkConfig::mesh(dims).with_step_mode(StepMode::EventDriven);
+    assert_event_drive_alloc_free(NetworkConfig::mesh(Dims::new(8, 8)), "event mesh");
+}
+
+/// Event mode composed with sharding exercises every new drain path at
+/// once — masked plan/commit epochs, the outbox/inbox pointer exchange,
+/// the parallel inbox application, and wake-on-credit re-arms of slept
+/// shards — and none of it may allocate once warm. The exchange relies on
+/// the build-time per-(src, dst) mail capacities being exact; an
+/// undercount shows up here as a bucket realloc.
+#[test]
+fn sharded_event_mode_is_allocation_free_in_steady_state() {
+    assert_event_drive_alloc_free(
+        NetworkConfig::mesh(Dims::new(8, 8))
+            .with_step_mode(StepMode::EventDriven)
+            .with_step_threads(4),
+        "sharded event mesh",
+    );
+    assert_event_drive_alloc_free(
+        NetworkConfig::torus(Dims::new(8, 8))
+            .with_step_mode(StepMode::EventDriven)
+            .with_step_threads(2),
+        "sharded event torus",
+    );
+}
+
+/// Drives `cfg` through the bursty event-wheel workload: bursts, drains,
+/// and fast-forwarded quiescent spans, all measured after a ten-burst
+/// warmup.
+fn assert_event_drive_alloc_free(cfg: NetworkConfig, label: &str) {
+    let _guard = serial();
+    let dims = cfg.dims;
+    let cfg = cfg.with_step_mode(StepMode::EventDriven);
     let mut net = Network::new(cfg).unwrap();
     let mut rng = SmallRng::seed_from_u64(11);
     let (bursts, period) = (40u64, 64u64);
@@ -187,6 +272,7 @@ fn event_mode_fast_forward_is_allocation_free_in_steady_state() {
     let mut next = 0usize;
     let mut measured = 0u64;
     let mut iters = 0u64;
+    let mut region_open = false;
     while net.cycle() < horizon || !net.is_quiescent() {
         while schedule.get(next).is_some_and(|&(c, ..)| c == net.cycle()) {
             let (_, ep, f) = schedule[next];
@@ -194,6 +280,10 @@ fn event_mode_fast_forward_is_allocation_free_in_steady_state() {
             next += 1;
         }
         let measuring = net.cycle() >= warm_until;
+        if measuring && !region_open {
+            begin_measured_region();
+            region_open = true;
+        }
         let before = allocations();
         net.step();
         let wake = schedule.get(next).map_or(horizon, |&(c, ..)| c);
@@ -207,7 +297,7 @@ fn event_mode_fast_forward_is_allocation_free_in_steady_state() {
     assert!(net.is_quiescent());
     assert_eq!(
         measured, 0,
-        "event wheel: {measured} heap allocations inside steady-state \
+        "{label}: {measured} heap allocations inside steady-state \
          step/fast_forward calls"
     );
 }

@@ -42,21 +42,44 @@ fn main() {
 
     if negative {
         println!("\nnegative controls (each broken variant must fail):");
-        run_negative("no-epoch-bump", broken::NoEpochBump::default(), &mut failed);
+        let headline = Bound::new(2, 2, 2);
+        // The lost credit wake only bites at a bound that sleeps a slot
+        // for one epoch and expects it re-armed for the next.
+        let sleepy = Bound::new(2, 2, 2).with_sleep(0, 1);
+        run_negative(
+            "no-epoch-bump",
+            broken::NoEpochBump::default(),
+            &headline,
+            &mut failed,
+        );
         run_negative(
             "silent-shutdown",
             broken::SilentShutdown::default(),
+            &headline,
             &mut failed,
         );
-        run_negative("stuck-cursor", broken::StuckCursor::default(), &mut failed);
+        run_negative(
+            "stuck-cursor",
+            broken::StuckCursor::default(),
+            &headline,
+            &mut failed,
+        );
         run_negative(
             "forgotten-done-notify",
             broken::ForgottenDoneNotify::default(),
+            &headline,
             &mut failed,
         );
         run_negative(
             "torn-epoch-read",
             broken::TornEpochRead::default(),
+            &headline,
+            &mut failed,
+        );
+        run_negative(
+            "lost-credit-wake",
+            broken::LostCreditWake::default(),
+            &sleepy,
             &mut failed,
         );
     }
@@ -67,12 +90,12 @@ fn main() {
     println!("pool-protocol model check: all bounds exhaustively verified");
 }
 
-/// Checks one broken variant at the headline bound; it *must* fail.
-fn run_negative<P>(label: &str, proto: P, failed: &mut bool)
+/// Checks one broken variant at `bound`; it *must* fail.
+fn run_negative<P>(label: &str, proto: P, bound: &Bound, failed: &mut bool)
 where
     P: ruche_soundness::PoolProtocol + Clone + Eq + std::hash::Hash,
 {
-    match check(proto, &Bound::new(2, 2, 2), DEFAULT_CAP) {
+    match check(proto, bound, DEFAULT_CAP) {
         CheckResult::Fail(failure) => {
             println!("  {label:<22} caught: {}", failure.violation);
         }

@@ -22,6 +22,12 @@ macro_rules! delegate_rest {
     (@one try_claim) => {
         fn try_claim(&mut self) -> Claim { self.0.try_claim() }
     };
+    (@one sleep_task) => {
+        fn sleep_task(&mut self, i: usize) { self.0.sleep_task(i) }
+    };
+    (@one wake_task) => {
+        fn wake_task(&mut self, i: usize) { self.0.wake_task(i) }
+    };
     (@one finish_task) => {
         fn finish_task(&mut self, panicked: bool) -> Signal { self.0.finish_task(panicked) }
     };
@@ -67,6 +73,8 @@ impl PoolProtocol for NoEpochBump {
         end_epoch,
         begin_shutdown,
         worker_wake,
+        sleep_task,
+        wake_task,
         observe
     );
 }
@@ -91,6 +99,8 @@ impl PoolProtocol for SilentShutdown {
         epoch_done,
         end_epoch,
         worker_wake,
+        sleep_task,
+        wake_task,
         observe
     );
 }
@@ -120,6 +130,8 @@ impl PoolProtocol for StuckCursor {
         end_epoch,
         begin_shutdown,
         worker_wake,
+        sleep_task,
+        wake_task,
         observe
     );
 }
@@ -144,6 +156,8 @@ impl PoolProtocol for ForgottenDoneNotify {
         end_epoch,
         begin_shutdown,
         worker_wake,
+        sleep_task,
+        wake_task,
         observe
     );
 }
@@ -171,6 +185,36 @@ impl PoolProtocol for TornEpochRead {
         epoch_done,
         end_epoch,
         begin_shutdown,
+        sleep_task,
+        wake_task,
+        observe
+    );
+}
+
+/// Loses the **wake-on-credit edge**: `wake_task` is a no-op, so a shard
+/// slot put to sleep for one epoch is never re-armed — the next epoch's
+/// publish still skips it and the mail staged for it is never applied. The
+/// bound's expected-skip bookkeeping sees the slot unclaimed in the epoch
+/// that should have run it. Caught as [`Violation::LostTask`] at a bound
+/// with a sleep spec (e.g. `Bound::new(2, 2, 2).with_sleep(0, 1)`).
+///
+/// [`Violation::LostTask`]: crate::model::Violation::LostTask
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct LostCreditWake(pub EpochCore);
+
+impl PoolProtocol for LostCreditWake {
+    fn wake_task(&mut self, _i: usize) {
+        // The credit arrived, the destination shard's re-arm was dropped.
+    }
+    delegate_rest!(
+        publish,
+        try_claim,
+        finish_task,
+        epoch_done,
+        end_epoch,
+        begin_shutdown,
+        worker_wake,
+        sleep_task,
         observe
     );
 }

@@ -39,7 +39,9 @@ pub use protocol::{Claim, EpochCore, PoolProtocol, Signal, Wake};
 /// The standard exploration grid: the bounds CI checks on every run.
 ///
 /// Each entry is `(label, bound)`. The grid covers 1–4 workers, 1–3
-/// epochs, 1–3 tasks, and panic-unwind shapes; the headline bound
+/// epochs, 1–3 tasks, panic-unwind shapes, and sleep/wake shapes (a task
+/// slot skipped for one epoch and re-armed for the next — the per-shard
+/// sleep protocol of `docs/PARALLELISM.md`); the headline bound
 /// (2 workers × 2 epochs × 2 tasks) must explore well over 1000 schedules
 /// (asserted by `tests/model_checker.rs`, which also pins the exact
 /// schedule counts of the small bounds to values cross-validated against
@@ -58,6 +60,13 @@ pub fn standard_grid() -> Vec<(&'static str, Bound)> {
         ("4w-3e-3t", Bound::new(4, 3, 3)),
         ("2w-2e-2t-panic", Bound::new(2, 2, 2).with_panic(0, 1)),
         ("3w-2e-2t-panic", Bound::new(3, 2, 2).with_panic(1, 0)),
+        ("1w-2e-2t-sleep", Bound::new(1, 2, 2).with_sleep(0, 1)),
+        ("2w-2e-2t-sleep", Bound::new(2, 2, 2).with_sleep(0, 0)),
+        ("2w-3e-3t-sleep", Bound::new(2, 3, 3).with_sleep(1, 2)),
+        (
+            "2w-2e-2t-sleep-panic",
+            Bound::new(2, 2, 2).with_sleep(0, 1).with_panic(0, 0),
+        ),
     ]
 }
 

@@ -64,6 +64,12 @@ pub struct Bound {
     /// Make task `(epoch, task)` panic, to model the unwind path
     /// (`0`-based epoch index).
     pub panic_task: Option<(usize, usize)>,
+    /// Model the per-shard sleep/wake cycle: the caller puts task slot
+    /// `task` to sleep before publishing epoch `epoch` (so that epoch
+    /// skips it) and re-arms it before epoch `epoch + 1` (the
+    /// wake-on-credit edge). Requires `epoch + 1 < epochs` so both the
+    /// skip and the re-arm are exercised.
+    pub sleep_wake: Option<(usize, usize)>,
 }
 
 impl Bound {
@@ -74,12 +80,20 @@ impl Bound {
             epochs,
             tasks,
             panic_task: None,
+            sleep_wake: None,
         }
     }
 
     /// The same bound with task `(epoch, task)` panicking.
     pub fn with_panic(mut self, epoch: usize, task: usize) -> Self {
         self.panic_task = Some((epoch, task));
+        self
+    }
+
+    /// The same bound with task slot `task` sleeping through epoch
+    /// `epoch` and re-armed for `epoch + 1`.
+    pub fn with_sleep(mut self, epoch: usize, task: usize) -> Self {
+        self.sleep_wake = Some((epoch, task));
         self
     }
 
@@ -96,6 +110,11 @@ impl Bound {
 pub enum Event {
     /// Caller published an epoch and notified `start`.
     Publish { epoch: usize, tasks: usize },
+    /// Caller put task slot `task` to sleep (next publish skips it).
+    Sleep { task: usize },
+    /// Caller re-armed sleeping task slot `task` (the wake-on-credit
+    /// edge: the next publish includes it again).
+    Rearm { task: usize },
     /// A thread claimed task `task` of the current epoch.
     Claim { task: usize },
     /// A thread found the current epoch drained.
@@ -134,6 +153,9 @@ pub enum Violation {
     /// A claim named a task outside the published epoch (torn or stale
     /// epoch state).
     ClaimOutOfRange { thread: usize, task: usize },
+    /// A claim handed out a task slot the bound says is asleep this
+    /// epoch: the skip mask leaked a sleeping shard to a claimant.
+    ClaimedSleeping { thread: usize, task: usize },
     /// The caller retired an epoch in which some task was never claimed.
     LostTask { epoch: usize, task: usize },
     /// The panic flag at the barrier did not match the epoch's tasks
@@ -204,6 +226,12 @@ pub enum CheckResult {
 /// atomic action of the real pool's caller and worker loops.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum Pc {
+    /// Caller: put the bound's sleeping task slot to sleep, then publish
+    /// epoch `e`.
+    SleepShard { e: usize },
+    /// Caller: re-arm the bound's sleeping task slot, then publish epoch
+    /// `e`.
+    WakeShard { e: usize },
     /// Caller: publish epoch `e` (0-based).
     Publish { e: usize },
     /// Caller: claim loop of epoch `e` (the caller participates).
@@ -278,8 +306,20 @@ pub fn check<P: PoolProtocol + Clone + Eq + Hash>(
     if let Some((e, t)) = bound.panic_task {
         assert!(e < bound.epochs && t < bound.tasks, "panic task in bound");
     }
+    if let Some((e, t)) = bound.sleep_wake {
+        assert!(
+            e + 1 < bound.epochs,
+            "sleep epoch needs a successor to re-arm into"
+        );
+        assert!(t < bound.tasks && t < 32, "sleeping task in bound");
+        assert_ne!(
+            bound.panic_task,
+            Some((e, t)),
+            "a skipped task never runs, so it cannot panic"
+        );
+    }
     let mut pcs = [Pc::Exited; MAX_MODEL_THREADS];
-    pcs[CALLER] = Pc::Publish { e: 0 };
+    pcs[CALLER] = pc_before_publish(bound, 0);
     for pc in pcs.iter_mut().take(bound.workers + 1).skip(1) {
         *pc = Pc::Park;
     }
@@ -427,6 +467,27 @@ fn notify<P>(st: &mut ModelState<P>, sig: Signal) {
     }
 }
 
+/// The caller PC that leads into publishing epoch `e`: a sleep or wake
+/// action first when the bound's sleep spec touches this epoch.
+fn pc_before_publish(bound: &Bound, e: usize) -> Pc {
+    match bound.sleep_wake {
+        Some((s, _)) if e == s => Pc::SleepShard { e },
+        Some((s, _)) if e == s + 1 => Pc::WakeShard { e },
+        _ => Pc::Publish { e },
+    }
+}
+
+/// The task slots the *bound* (not the protocol — the protocol under test
+/// may be lying) says must be skipped in epoch `epoch`. The invariant
+/// checks compare the protocol's behavior against this independent
+/// expectation.
+fn expected_skip(bound: &Bound, epoch: usize) -> u32 {
+    match bound.sleep_wake {
+        Some((s, t)) if epoch == s => 1u32 << t,
+        _ => 0,
+    }
+}
+
 /// Records a claim and checks the claim invariants.
 fn claim_task<P: PoolProtocol>(
     st: &mut ModelState<P>,
@@ -439,6 +500,9 @@ fn claim_task<P: PoolProtocol>(
         return Err(Violation::ClaimOutOfRange { thread: t, task });
     }
     let bit = 1u32 << task;
+    if expected_skip(bound, st.published - 1) & bit != 0 {
+        return Err(Violation::ClaimedSleeping { thread: t, task });
+    }
     if st.claimed & bit != 0 {
         return Err(Violation::DoubleClaim { thread: t, task });
     }
@@ -457,6 +521,18 @@ fn step<P: PoolProtocol + Clone>(
 ) -> Result<Event, Violation> {
     let bit = 1u32 << t;
     match st.pcs[t] {
+        Pc::SleepShard { e } => {
+            let (_, task) = bound.sleep_wake.expect("SleepShard requires a sleep spec");
+            st.proto.sleep_task(task);
+            st.pcs[t] = Pc::Publish { e };
+            Ok(Event::Sleep { task })
+        }
+        Pc::WakeShard { e } => {
+            let (_, task) = bound.sleep_wake.expect("WakeShard requires a sleep spec");
+            st.proto.wake_task(task);
+            st.pcs[t] = Pc::Publish { e };
+            Ok(Event::Rearm { task })
+        }
         Pc::Publish { e } => {
             let sig = st.proto.publish(bound.tasks);
             st.claimed = 0;
@@ -492,10 +568,13 @@ fn step<P: PoolProtocol + Clone>(
         }
         Pc::WaitDone { e } => {
             if st.proto.epoch_done() {
-                // Barrier integrity: every task of the epoch was claimed
-                // (and, since the barrier opened, finished).
+                // Barrier integrity: every non-skipped task of the epoch
+                // was claimed (and, since the barrier opened, finished).
+                // Skipped slots must stay unclaimed — a claim would have
+                // already surfaced as `ClaimedSleeping`.
+                let skip = expected_skip(bound, e);
                 for task in 0..bound.tasks {
-                    if st.claimed & (1u32 << task) == 0 {
+                    if skip & (1u32 << task) == 0 && st.claimed & (1u32 << task) == 0 {
                         return Err(Violation::LostTask { epoch: e, task });
                     }
                 }
@@ -509,7 +588,7 @@ fn step<P: PoolProtocol + Clone>(
                     });
                 }
                 st.pcs[t] = if e + 1 < bound.epochs {
-                    Pc::Publish { e: e + 1 }
+                    pc_before_publish(bound, e + 1)
                 } else {
                     Pc::Shutdown
                 };
@@ -544,13 +623,24 @@ fn step<P: PoolProtocol + Clone>(
             }
             Wake::Park => {
                 let obs = st.proto.observe();
-                if obs.has_job && obs.next < obs.n_tasks && !obs.shutdown {
+                // Unclaimed *claimable* work: slots the bound expects to
+                // be skipped this epoch don't count — parking past a
+                // sleeping shard is the whole point of the skip set.
+                let skip = if st.published > 0 {
+                    expected_skip(bound, st.published - 1)
+                } else {
+                    0
+                };
+                let unclaimed = (obs.next..obs.n_tasks)
+                    .filter(|&i| i >= 32 || skip & (1u32 << i) == 0)
+                    .count();
+                if obs.has_job && unclaimed > 0 && !obs.shutdown {
                     // The epoch has unclaimed work, yet this worker is
                     // about to sleep with no future notification coming
                     // for it: the publish wakeup was lost.
                     return Err(Violation::LostWakeup {
                         thread: t,
-                        unclaimed: obs.n_tasks - obs.next,
+                        unclaimed,
                     });
                 }
                 st.wait_start |= bit;
@@ -635,5 +725,44 @@ mod tests {
             CheckResult::Pass(_) => {}
             other => panic!("expected pass, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn sleep_wake_cycle_passes_and_still_exercises_handoff() {
+        // Slot 1 sleeps through epoch 0 and is re-armed for epoch 1: every
+        // interleaving must skip it exactly once and claim it exactly once.
+        let bound = Bound::new(1, 2, 2).with_sleep(0, 1);
+        match check(EpochCore::new(), &bound, 10_000_000) {
+            CheckResult::Pass(stats) => {
+                assert!(stats.schedules > 0);
+                assert!(stats.workers_participated);
+            }
+            other => panic!("expected pass, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sleep_composes_with_a_panic_in_the_awake_slot() {
+        // Slot 0 panics in the epoch whose slot 1 is asleep: the barrier
+        // must re-raise exactly once while skipping the sleeper.
+        let bound = Bound::new(2, 2, 2).with_sleep(0, 1).with_panic(0, 0);
+        match check(EpochCore::new(), &bound, DEFAULT_TEST_CAP) {
+            CheckResult::Pass(_) => {}
+            other => panic!("expected pass, got {other:?}"),
+        }
+    }
+
+    const DEFAULT_TEST_CAP: u64 = 20_000_000;
+
+    #[test]
+    #[should_panic(expected = "sleep epoch needs a successor")]
+    fn sleep_in_the_last_epoch_is_rejected() {
+        // A sleep with no following epoch would leave the re-arm edge
+        // untested — the bound constructor's contract forbids it.
+        let _ = check(
+            EpochCore::new(),
+            &Bound::new(1, 1, 1).with_sleep(0, 0),
+            1_000,
+        );
     }
 }

@@ -76,6 +76,10 @@ pub struct Observed {
     pub next: usize,
     /// Tasks claimed or unclaimed but not yet finished this epoch.
     pub unfinished: usize,
+    /// Bitmask of task slots skipped this epoch (snapshotted from the
+    /// persistent sleep set at publish time). Skipped slots are never
+    /// claimed and never counted toward the barrier.
+    pub skip: u32,
     /// Whether shutdown was requested.
     pub shutdown: bool,
 }
@@ -92,10 +96,25 @@ pub trait PoolProtocol {
     /// previous epoch to be fully retired ([`Self::end_epoch`]).
     fn publish(&mut self, n_tasks: usize) -> Signal;
 
-    /// Caller or worker: claims the next unclaimed task of the current
-    /// epoch, if any. A claimed index is owned exclusively by the claimant
-    /// until it reports [`Self::finish_task`].
+    /// Caller or worker: claims the next unclaimed, **non-skipped** task
+    /// of the current epoch, if any. A claimed index is owned exclusively
+    /// by the claimant until it reports [`Self::finish_task`]; a slot in
+    /// the epoch's skip set is never handed out.
     fn try_claim(&mut self) -> Claim;
+
+    /// Caller, between epochs: marks task slot `i` asleep. The *next*
+    /// [`Self::publish`] snapshots the sleep set into the epoch's skip
+    /// mask: the slot contributes zero work and is skipped at claim time.
+    /// Idempotent. Only the low 32 slots are sleepable (the real pool's
+    /// shard count is capped at 32).
+    fn sleep_task(&mut self, i: usize);
+
+    /// Caller, between epochs: re-arms a sleeping task slot so the next
+    /// [`Self::publish`] includes it again — the *wake-on-credit* edge of
+    /// the per-shard stepping scheme. Idempotent; waking an awake slot is
+    /// a no-op. Losing this transition strands the slot outside every
+    /// future epoch ([`crate::broken::LostCreditWake`]).
+    fn wake_task(&mut self, i: usize);
 
     /// Caller or worker: reports a claimed task finished; `panicked`
     /// records whether the task body unwound (the caller re-raises once,
@@ -143,8 +162,27 @@ pub struct EpochCore {
     /// Set when a task panicked; cleared and reported by
     /// [`EpochCore::end_epoch`].
     panicked: bool,
+    /// Persistent sleep set: slots marked by [`EpochCore::sleep_task`] and
+    /// cleared by [`EpochCore::wake_task`], both between epochs. Survives
+    /// across epochs until explicitly re-armed.
+    asleep: u32,
+    /// The sleep set as snapshotted by the current epoch's publish,
+    /// restricted to slots below its task count. Claim and barrier
+    /// decisions use this frozen copy, so mid-epoch sleep/wake calls (the
+    /// real pool forbids them) could never tear an epoch.
+    skip: u32,
     /// Set once by [`EpochCore::begin_shutdown`]; never cleared.
     shutdown: bool,
+}
+
+/// Bitmask of the task slots below `n` (all 32 slots for `n >= 32` —
+/// tasks beyond slot 31 exist but are never sleepable).
+fn mask_below(n: usize) -> u32 {
+    if n >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << n) - 1
+    }
 }
 
 impl EpochCore {
@@ -168,17 +206,39 @@ impl PoolProtocol for EpochCore {
         self.has_job = true;
         self.n_tasks = n_tasks;
         self.next = 0;
-        self.unfinished = n_tasks;
+        // Freeze the sleep set for this epoch: skipped slots never reach a
+        // claimant and never count toward the barrier, so a fully-skipped
+        // publish opens its barrier immediately.
+        self.skip = self.asleep & mask_below(n_tasks);
+        self.unfinished = n_tasks - self.skip.count_ones() as usize;
         Signal::Start
     }
 
     fn try_claim(&mut self) -> Claim {
+        // Advance the cursor past skipped slots — this is the claim-time
+        // half of the skip/claim transition: sleeping shards cost each
+        // claimant at most a mask test, never a task.
+        while self.next < self.n_tasks && self.next < 32 && self.skip & (1 << self.next) != 0 {
+            self.next += 1;
+        }
         if self.next >= self.n_tasks {
             return Claim::Drained;
         }
         let i = self.next;
         self.next += 1;
         Claim::Task(i)
+    }
+
+    fn sleep_task(&mut self, i: usize) {
+        debug_assert!(i < 32, "sleepable task slots are capped at 32");
+        debug_assert!(!self.has_job, "sleep set changes only between epochs");
+        self.asleep |= 1 << i;
+    }
+
+    fn wake_task(&mut self, i: usize) {
+        debug_assert!(i < 32, "sleepable task slots are capped at 32");
+        debug_assert!(!self.has_job, "sleep set changes only between epochs");
+        self.asleep &= !(1u32 << i);
     }
 
     fn finish_task(&mut self, panicked: bool) -> Signal {
@@ -225,6 +285,7 @@ impl PoolProtocol for EpochCore {
             n_tasks: self.n_tasks,
             next: self.next,
             unfinished: self.unfinished,
+            skip: self.skip,
             shutdown: self.shutdown,
         }
     }
@@ -276,6 +337,83 @@ mod tests {
         assert_eq!(p.begin_shutdown(), Signal::Start);
         // Even a worker that has not seen the last epoch exits.
         assert_eq!(p.worker_wake(0), Wake::Exit);
+    }
+
+    #[test]
+    fn sleeping_slots_are_skipped_at_claim_time_and_at_the_barrier() {
+        let mut p = EpochCore::new();
+        p.sleep_task(1);
+        assert_eq!(p.publish(3), Signal::Start);
+        assert_eq!(p.observe().skip, 0b010, "slot 1 frozen into the epoch");
+        // The cursor hands out 0 then jumps over the sleeping slot to 2.
+        assert_eq!(p.try_claim(), Claim::Task(0));
+        assert_eq!(p.try_claim(), Claim::Task(2));
+        assert_eq!(p.try_claim(), Claim::Drained);
+        // The barrier counts only the two published tasks.
+        assert_eq!(p.finish_task(false), Signal::None);
+        assert_eq!(p.finish_task(false), Signal::Done);
+        assert!(!p.end_epoch());
+    }
+
+    #[test]
+    fn wake_task_rearms_the_slot_for_the_next_publish() {
+        let mut p = EpochCore::new();
+        p.sleep_task(0);
+        p.publish(2);
+        assert_eq!(p.try_claim(), Claim::Task(1));
+        assert_eq!(p.try_claim(), Claim::Drained);
+        p.finish_task(false);
+        assert!(!p.end_epoch());
+        // The wake-on-credit edge: slot 0 re-enters the next epoch.
+        p.wake_task(0);
+        p.publish(2);
+        assert_eq!(p.observe().skip, 0);
+        assert_eq!(p.try_claim(), Claim::Task(0));
+        assert_eq!(p.try_claim(), Claim::Task(1));
+    }
+
+    #[test]
+    fn a_fully_skipped_epoch_opens_its_barrier_immediately() {
+        let mut p = EpochCore::new();
+        p.sleep_task(0);
+        p.sleep_task(1);
+        p.publish(2);
+        assert!(p.epoch_done(), "no publishable work, barrier already open");
+        assert_eq!(p.try_claim(), Claim::Drained);
+        assert!(!p.end_epoch());
+    }
+
+    #[test]
+    fn sleep_and_wake_are_idempotent_and_slot_local() {
+        let mut p = EpochCore::new();
+        p.sleep_task(2);
+        p.sleep_task(2);
+        p.wake_task(5); // waking an awake slot is a no-op
+        p.publish(4);
+        assert_eq!(p.observe().skip, 0b100);
+        for expect in [Claim::Task(0), Claim::Task(1), Claim::Task(3)] {
+            assert_eq!(p.try_claim(), expect);
+        }
+        assert_eq!(p.try_claim(), Claim::Drained);
+    }
+
+    #[test]
+    fn sleep_set_only_masks_slots_below_the_task_count() {
+        let mut p = EpochCore::new();
+        p.sleep_task(3);
+        // A 2-task epoch is unaffected by slot 3's sleep bit...
+        p.publish(2);
+        assert_eq!(p.observe().skip, 0);
+        assert_eq!(p.observe().unfinished, 2);
+        p.try_claim();
+        p.try_claim();
+        p.finish_task(false);
+        p.finish_task(false);
+        p.end_epoch();
+        // ...but the bit persists and bites a wider epoch later.
+        p.publish(4);
+        assert_eq!(p.observe().skip, 0b1000);
+        assert_eq!(p.observe().unfinished, 3);
     }
 
     #[test]

@@ -24,6 +24,12 @@ impl fmt::Display for Event {
                     epoch + 1
                 )
             }
+            Event::Sleep { task } => {
+                write!(f, "sleep task slot {task} (next publish skips it)")
+            }
+            Event::Rearm { task } => {
+                write!(f, "re-arm task slot {task} (wake-on-credit)")
+            }
             Event::Claim { task } => write!(f, "claim task {task}"),
             Event::Drained => write!(f, "claim: drained"),
             Event::Finish {
@@ -76,6 +82,13 @@ impl fmt::Display for Violation {
                 f,
                 "claim out of range: {} claimed task {task} outside the \
                  published epoch (torn or stale epoch state)",
+                thread_name(*thread)
+            ),
+            Violation::ClaimedSleeping { thread, task } => write!(
+                f,
+                "claimed sleeping: {} was handed task {task}, which this \
+                 epoch's skip set says is asleep (the skip mask leaked a \
+                 sleeping shard)",
                 thread_name(*thread)
             ),
             Violation::LostTask { epoch, task } => write!(

@@ -63,6 +63,29 @@ fn schedule_counts_match_independent_enumeration() {
 }
 
 #[test]
+fn sleep_bound_schedule_counts_are_pinned() {
+    // Deterministic-exploration pins for the skip/claim extension, taken
+    // from the first verified run and cross-checked against the base
+    // bounds: sleeping one slot strictly shrinks the schedule space
+    // (105,426 < 188,616 at 1w-2e-2t; 80,412,431,770 < 158,373,817,810 at
+    // 2w-2e-2t), because the skipped slot contributes no claim/finish
+    // actions in its sleeping epoch. A drift here means the sleep/wake
+    // thread program or the skip bookkeeping changed.
+    for (bound, expect) in [
+        (Bound::new(1, 2, 2).with_sleep(0, 1), 105_426),
+        (Bound::new(2, 2, 2).with_sleep(0, 0), 80_412_431_770),
+    ] {
+        match check_real(&bound) {
+            CheckResult::Pass(stats) => assert_eq!(
+                stats.schedules, expect,
+                "schedule count changed at {bound:?}"
+            ),
+            other => panic!("expected pass at {bound:?}, got {other:?}"),
+        }
+    }
+}
+
+#[test]
 fn the_whole_standard_grid_passes() {
     for (label, bound) in standard_grid() {
         match check_real(&bound) {
@@ -181,4 +204,37 @@ fn torn_epoch_read_spins_forever() {
         "expected Livelock, got {:?}",
         failure.violation
     );
+}
+
+#[test]
+fn lost_credit_wake_strands_the_sleeping_shard() {
+    // Slot 1 sleeps through epoch 0 and must be re-armed for epoch 1; the
+    // broken variant drops the re-arm, so epoch 1 (0-based) retires with
+    // slot 1 never claimed — the mail staged for a sleeping shard would
+    // silently never be applied.
+    let bound = Bound::new(2, 2, 2).with_sleep(0, 1);
+    let failure = match check(broken::LostCreditWake::default(), &bound, DEFAULT_CAP) {
+        CheckResult::Fail(failure) => *failure,
+        other => panic!("lost credit wake not caught: {other:?}"),
+    };
+    assert!(
+        matches!(failure.violation, Violation::LostTask { epoch: 1, task: 1 }),
+        "expected LostTask at epoch 1 slot 1, got {:?}",
+        failure.violation
+    );
+    assert!(
+        !failure.witness.steps.is_empty(),
+        "a violation must come with its schedule"
+    );
+    let rendered = failure.to_string();
+    assert!(
+        rendered.contains("lost task") && rendered.contains("sleep task slot 1"),
+        "the witness must replay the un-re-armed sleep:\n{rendered}"
+    );
+    // The same bound passes with the genuine protocol: the violation is
+    // the dropped wake, not the sleep itself.
+    match check_real(&bound) {
+        CheckResult::Pass(_) => {}
+        other => panic!("real protocol failed the sleepy bound: {other:?}"),
+    }
 }

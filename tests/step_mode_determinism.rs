@@ -127,6 +127,7 @@ fn assert_mode_lockstep(
         let b = event_net.step().to_vec();
         assert_eq!(a, b, "ejections diverge at cycle {}", event_net.cycle());
         assert_eq!(cycle_net.snapshot(), event_net.snapshot());
+        assert_shard_events_cover(&event_net);
         let wake = schedule.get(next).map_or(cycles, |&(c, ..)| c);
         event_net.fast_forward(wake.min(cycles));
         guard += 1;
@@ -164,6 +165,19 @@ fn assert_mode_lockstep(
             }
         }
     }
+}
+
+/// The wake-set decomposition invariant behind `fast_forward`: the global
+/// next-event cycle is exactly the minimum of the per-shard event cycles
+/// ([`Network::shard_next_event_cycle`]), so no shard's pending work can
+/// be skipped past and a fully quiescent network reports `None` everywhere.
+fn assert_shard_events_cover(net: &Network) {
+    let per_shard = (0..net.step_threads()).filter_map(|s| net.shard_next_event_cycle(s));
+    assert_eq!(
+        net.next_event_cycle(),
+        per_shard.min(),
+        "global next event must be the min over shard event cycles"
+    );
 }
 
 proptest! {
@@ -244,6 +258,37 @@ proptest! {
         }
     }
 
+    /// The full product in one lockstep run: event-driven stepping ×
+    /// step-thread count × random link faults. Detoured routes change
+    /// which bands are busy each cycle, so the serial, two-shard, and
+    /// four-shard engines all exercise sleep/wake transitions and the
+    /// wake-on-credit edges that faulted detours induce.
+    #[test]
+    fn event_sharding_and_faults_compose(
+        seed in any::<u64>(),
+        fseed in any::<u64>(),
+        threads in (0u8..3).prop_map(|i| [1usize, 2, 4][i as usize]),
+        rate in 1u32..=40,
+        gap in 1u64..=32,
+    ) {
+        let dims = Dims::new(8, 8);
+        let cfg = NetworkConfig::mesh(dims);
+        let faults = FaultModel::random_links(&cfg, 0.08, fseed);
+        let cycle_net = Network::with_faults(
+            cfg.clone().with_step_threads(1).with_step_mode(StepMode::CycleAccurate), &faults,
+        );
+        let event_net = Network::with_faults(
+            cfg.with_step_threads(threads).with_step_mode(StepMode::EventDriven), &faults,
+        );
+        match (cycle_net, event_net) {
+            (Ok(c), Ok(e)) => assert_mode_lockstep(c, e, seed, rate, gap, 100),
+            // A fault set the builder rejects must be rejected at every
+            // thread count.
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "engines disagree on {:?} vs {:?}", a.is_ok(), b.is_ok()),
+        }
+    }
+
     /// `Network::run` reaches the same state in every mode: same final
     /// snapshot, same link loads.
     #[test]
@@ -300,6 +345,39 @@ fn quiescence_introspection_tracks_in_flight_traffic() {
     // ...and once it ejects, quiescence returns.
     assert!(net.is_quiescent());
     assert_eq!(net.next_event_cycle(), None);
+}
+
+#[test]
+fn global_next_event_is_the_min_over_shard_event_cycles() {
+    let cfg = NetworkConfig::mesh(Dims::new(8, 8))
+        .with_step_threads(4)
+        .with_step_mode(StepMode::EventDriven);
+    let mut net = Network::new(cfg).unwrap();
+    assert_eq!(net.step_threads(), 4);
+    // Quiescent: every shard reports no pending event.
+    for s in 0..net.step_threads() {
+        assert_eq!(net.shard_next_event_cycle(s), None);
+    }
+    assert_shard_events_cover(&net);
+    // A flit enqueued at (0, 0) wakes only the top row band; the other
+    // shards stay event-free until traffic actually enters their rows.
+    let (src, dst) = (Coord::new(0, 0), Coord::new(7, 7));
+    net.enqueue(
+        net.tile_endpoint(src),
+        Flit::single(src, Dest::tile(dst), 0, 0),
+    );
+    assert_eq!(net.shard_next_event_cycle(0), Some(net.cycle()));
+    for s in 1..net.step_threads() {
+        assert_eq!(net.shard_next_event_cycle(s), None);
+    }
+    // The invariant holds at every cycle of the flit's journey across the
+    // band boundaries and through the drain.
+    while !net.is_quiescent() {
+        assert_shard_events_cover(&net);
+        net.step();
+    }
+    assert_shard_events_cover(&net);
+    assert_eq!(net.snapshot().ejected, 1);
 }
 
 #[test]
